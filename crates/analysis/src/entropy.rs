@@ -1,0 +1,93 @@
+//! Shannon entropy of byte payloads.
+//!
+//! The GFW's passive detector uses the per-byte entropy of the first
+//! data packet as one of its two features (§4.2, Fig 9): encrypted
+//! Shadowsocks payloads sit near 8 bits/byte (for long packets), while
+//! plaintext protocols sit far lower.
+
+/// Per-byte Shannon entropy of `data`, in bits (0.0–8.0). Empty input
+/// has entropy 0.
+pub fn shannon_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0usize; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The maximum achievable per-byte entropy for a payload of `len` bytes:
+/// `min(8, log2(len))`. Short packets cannot reach 8 bits/byte, which
+/// matters when interpreting entropy thresholds on small probes.
+pub fn max_entropy_for_len(len: usize) -> f64 {
+    if len <= 1 {
+        return 0.0;
+    }
+    (len as f64).log2().min(8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_data_has_zero_entropy() {
+        assert_eq!(shannon_entropy(&[0x41; 1000]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn uniform_bytes_have_eight_bits() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let e = shannon_entropy(&data);
+        assert!((e - 8.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn two_symbol_alphabet_has_one_bit() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        let e = shannon_entropy(&data);
+        assert!((e - 1.0).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn english_text_is_mid_entropy() {
+        let text = b"The quick brown fox jumps over the lazy dog. The quick brown fox.";
+        let e = shannon_entropy(text);
+        assert!(e > 3.0 && e < 5.0, "{e}");
+    }
+
+    #[test]
+    fn random_looking_data_is_high_entropy() {
+        // A long LCG stream approximates uniform bytes.
+        let mut x: u64 = 12345;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let e = shannon_entropy(&data);
+        assert!(e > 7.9, "{e}");
+    }
+
+    #[test]
+    fn max_entropy_bound() {
+        assert_eq!(max_entropy_for_len(0), 0.0);
+        assert_eq!(max_entropy_for_len(1), 0.0);
+        assert!((max_entropy_for_len(2) - 1.0).abs() < 1e-9);
+        assert_eq!(max_entropy_for_len(1 << 20), 8.0);
+        // A 16-byte packet can reach at most 4 bits/byte.
+        assert!((max_entropy_for_len(16) - 4.0).abs() < 1e-9);
+    }
+}

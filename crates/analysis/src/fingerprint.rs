@@ -1,0 +1,198 @@
+//! Packet-level fingerprint extraction from captures (§3.4).
+//!
+//! Pulls out exactly the features the paper examined on the probers'
+//! packets: TCP source ports of SYNs (Fig 5), TTL ranges and IP-ID
+//! patterns of PSH/ACKs, TSval sequences of SYNs (Fig 6), and per-IP
+//! probe counts (Fig 3 / Table 2).
+
+use crate::stats::{top_k, Cdf};
+use netsim::capture::Capture;
+use netsim::packet::Ipv4;
+use std::collections::HashMap;
+
+/// Source-port summary of SYN packets arriving at a destination.
+#[derive(Clone, Debug)]
+pub struct PortProfile {
+    /// All observed source ports.
+    pub ports: Vec<u16>,
+    /// Fraction inside the Linux ephemeral range 32768–60999.
+    pub linux_range_frac: f64,
+    /// Lowest observed port.
+    pub min: u16,
+    /// Highest observed port.
+    pub max: u16,
+}
+
+/// Extract the Fig 5 source-port profile from SYNs addressed to `dst`.
+pub fn port_profile(cap: &Capture, dst: Ipv4) -> Option<PortProfile> {
+    let ports: Vec<u16> = cap
+        .syns()
+        .filter(|p| p.dst.0 == dst)
+        .map(|p| p.src.1)
+        .collect();
+    if ports.is_empty() {
+        return None;
+    }
+    let in_linux = ports
+        .iter()
+        .filter(|&&p| (32768..=60999).contains(&p))
+        .count();
+    Some(PortProfile {
+        linux_range_frac: in_linux as f64 / ports.len() as f64,
+        min: *ports.iter().min().unwrap(),
+        max: *ports.iter().max().unwrap(),
+        ports,
+    })
+}
+
+/// CDF over the observed source ports.
+pub fn port_cdf(profile: &PortProfile) -> Cdf {
+    Cdf::new(profile.ports.iter().map(|&p| p as f64).collect())
+}
+
+/// TTL range of data-carrying packets from a set of sources to `dst`.
+pub fn ttl_range(cap: &Capture, dst: Ipv4) -> Option<(u8, u8)> {
+    let ttls: Vec<u8> = cap
+        .data_packets()
+        .filter(|p| p.dst.0 == dst)
+        .map(|p| p.ttl)
+        .collect();
+    if ttls.is_empty() {
+        return None;
+    }
+    Some((
+        *ttls.iter().min().unwrap(),
+        *ttls.iter().max().unwrap(),
+    ))
+}
+
+/// A crude sequentiality score for IP IDs from one source: fraction of
+/// consecutive packet pairs whose IDs differ by exactly 1. Random IDs
+/// score ≈ 0 ("no clear pattern", §3.4); a counter scores ≈ 1.
+pub fn ip_id_sequentiality(cap: &Capture, src: Ipv4) -> Option<f64> {
+    let ids: Vec<u16> = cap
+        .packets()
+        .iter()
+        .filter(|p| p.src.0 == src)
+        .map(|p| p.ip_id)
+        .collect();
+    if ids.len() < 2 {
+        return None;
+    }
+    let seq = ids
+        .windows(2)
+        .filter(|w| w[1].wrapping_sub(w[0]) == 1)
+        .count();
+    Some(seq as f64 / (ids.len() - 1) as f64)
+}
+
+/// Per-source-IP SYN counts toward `dst` — Fig 3's probes-per-address
+/// distribution and Table 2's top talkers.
+pub fn probes_per_ip(cap: &Capture, dst: Ipv4) -> HashMap<Ipv4, u64> {
+    let mut counts = HashMap::new();
+    for p in cap.syns().filter(|p| p.dst.0 == dst) {
+        *counts.entry(p.src.0).or_insert(0u64) += 1;
+    }
+    counts
+}
+
+/// Table 2: the `k` most common prober addresses and their counts.
+pub fn top_probers(cap: &Capture, dst: Ipv4, k: usize) -> Vec<(Ipv4, u64)> {
+    top_k(cap.syns().filter(|p| p.dst.0 == dst).map(|p| p.src.0), k)
+}
+
+/// (seconds, TSval) observations from SYNs toward `dst`, for
+/// [`crate::tsval::cluster`].
+pub fn tsval_observations(cap: &Capture, dst: Ipv4) -> Vec<(f64, u32)> {
+    cap.syns()
+        .filter(|p| p.dst.0 == dst)
+        .filter_map(|p| p.tsval.map(|v| (p.sent_at.as_secs_f64(), v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netsim::conn::ConnId;
+    use netsim::packet::{Packet, TcpFlags};
+    use netsim::time::SimTime;
+
+    fn pkt(src: (Ipv4, u16), dst: (Ipv4, u16), flags: TcpFlags, ip_id: u16, payload: &[u8]) -> Packet {
+        Packet {
+            sent_at: SimTime::ZERO,
+            src,
+            dst,
+            flags,
+            seq: 0,
+            ack: 0,
+            window: 65535,
+            ttl: 47,
+            ip_id,
+            tsval: Some(1234),
+            payload: Bytes::copy_from_slice(payload),
+            conn: ConnId(0),
+        }
+    }
+
+    #[test]
+    fn port_profile_extraction() {
+        let server = Ipv4::new(172, 0, 0, 1);
+        let mut cap = Capture::all();
+        for (i, port) in [40000u16, 45000, 50000, 1212, 65237].iter().enumerate() {
+            cap.observe(&pkt(
+                (Ipv4::new(110, 0, 0, i as u8), *port),
+                (server, 8388),
+                TcpFlags::SYN,
+                i as u16,
+                b"",
+            ));
+        }
+        let prof = port_profile(&cap, server).unwrap();
+        assert_eq!(prof.ports.len(), 5);
+        assert_eq!(prof.min, 1212);
+        assert_eq!(prof.max, 65237);
+        assert!((prof.linux_range_frac - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ip_id_sequentiality_scores() {
+        let src = Ipv4::new(110, 0, 0, 9);
+        let dst = (Ipv4::new(172, 0, 0, 1), 8388);
+        let mut seq_cap = Capture::all();
+        for i in 0..10u16 {
+            seq_cap.observe(&pkt((src, 5000), dst, TcpFlags::PSH_ACK, 100 + i, b"x"));
+        }
+        assert_eq!(ip_id_sequentiality(&seq_cap, src), Some(1.0));
+
+        let mut rnd_cap = Capture::all();
+        for &id in &[9u16, 60000, 3, 40001, 22222, 7] {
+            rnd_cap.observe(&pkt((src, 5000), dst, TcpFlags::PSH_ACK, id, b"x"));
+        }
+        assert_eq!(ip_id_sequentiality(&rnd_cap, src), Some(0.0));
+    }
+
+    #[test]
+    fn probe_counting() {
+        let server = Ipv4::new(172, 0, 0, 1);
+        let a = Ipv4::new(175, 42, 1, 21);
+        let b = Ipv4::new(223, 166, 74, 207);
+        let mut cap = Capture::all();
+        for _ in 0..44 {
+            cap.observe(&pkt((a, 40000), (server, 8388), TcpFlags::SYN, 0, b""));
+        }
+        for _ in 0..38 {
+            cap.observe(&pkt((b, 40001), (server, 8388), TcpFlags::SYN, 0, b""));
+        }
+        let top = top_probers(&cap, server, 2);
+        assert_eq!(top, vec![(a, 44), (b, 38)]);
+        assert_eq!(probes_per_ip(&cap, server)[&b], 38);
+    }
+
+    #[test]
+    fn empty_capture_gives_none() {
+        let cap = Capture::all();
+        assert!(port_profile(&cap, Ipv4::new(1, 1, 1, 1)).is_none());
+        assert!(ttl_range(&cap, Ipv4::new(1, 1, 1, 1)).is_none());
+    }
+}

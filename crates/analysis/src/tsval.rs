@@ -1,0 +1,153 @@
+//! TCP-timestamp sequence clustering (§3.4, Fig 6).
+//!
+//! Although the probers use thousands of source addresses, their TSvals
+//! fall on a handful of straight lines in (time, TSval) space — the
+//! signature of a small number of centralized processes. This module
+//! recovers those lines from a capture: an online clustering that
+//! assigns each observation to a process whose extrapolated counter
+//! value it matches, handling the 2^32 wraparound the paper observed.
+
+/// One recovered process: a line in (time, TSval) space.
+#[derive(Clone, Debug)]
+pub struct TsProcess {
+    /// Observations assigned to this process, as (seconds, tsval).
+    pub points: Vec<(f64, u32)>,
+}
+
+impl TsProcess {
+    /// Estimated counter rate in Hz (slope of the line), from the first
+    /// and last points with wraparound unrolled.
+    pub fn rate_hz(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let (t0, v0) = self.points[0];
+        let (t1, v1) = *self.points.last().unwrap();
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut delta = v1 as i64 - v0 as i64;
+        // Unroll at most a few wraps (observation spans are far shorter
+        // than a wrap period at these rates).
+        while delta < 0 {
+            delta += 1i64 << 32;
+        }
+        delta as f64 / (t1 - t0)
+    }
+
+    fn predict(&self, t: f64) -> f64 {
+        let (t0, v0) = self.points[0];
+        let rate = if self.points.len() < 2 {
+            // A single point can extend in either direction; use a broad
+            // prior covering 250–1000 Hz by predicting with 625 Hz and a
+            // wide tolerance at assignment time.
+            625.0
+        } else {
+            self.rate_hz()
+        };
+        v0 as f64 + rate * (t - t0)
+    }
+}
+
+/// Cluster (seconds, tsval) observations into processes.
+///
+/// `tolerance` is the allowed |observed − predicted| in counter ticks
+/// (mod 2^32). The paper's sequences are tight lines, so a few thousand
+/// ticks of slack absorbs clock jitter without merging distinct
+/// processes whose offsets differ by millions.
+pub fn cluster(mut obs: Vec<(f64, u32)>, tolerance: f64) -> Vec<TsProcess> {
+    obs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut procs: Vec<TsProcess> = Vec::new();
+    for (t, v) in obs {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in procs.iter().enumerate() {
+            let pred = p.predict(t);
+            // Distance modulo 2^32 (handles wraparound).
+            let m = 2f64.powi(32);
+            let d = ((v as f64 - pred).rem_euclid(m)).min((pred - v as f64).rem_euclid(m));
+            let tol = if p.points.len() < 2 {
+                // Single-point processes get slack proportional to the
+                // gap: rates are within [250, 1000] Hz, so the counter
+                // can advance between 250·Δt and 1000·Δt ticks.
+                let dt = (t - p.points[0].0).abs();
+                400.0 * dt + tolerance
+            } else {
+                tolerance
+            };
+            if d <= tol && best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            Some((i, _)) => procs[i].points.push((t, v)),
+            None => procs.push(TsProcess {
+                points: vec![(t, v)],
+            }),
+        }
+    }
+    procs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(rate: f64, offset: u64, times: &[f64]) -> Vec<(f64, u32)> {
+        times
+            .iter()
+            .map(|&t| (t, (offset as f64 + rate * t) as u64 as u32))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_two_processes() {
+        let times: Vec<f64> = (0..100).map(|i| i as f64 * 60.0).collect();
+        let mut obs = synth(250.0, 10_000, &times);
+        obs.extend(synth(1000.0, 3_000_000_000, &times));
+        let procs = cluster(obs, 50.0);
+        assert_eq!(procs.len(), 2, "found {} processes", procs.len());
+        let mut rates: Vec<f64> = procs.iter().map(|p| p.rate_hz()).collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((rates[0] - 250.0).abs() < 2.0, "{rates:?}");
+        assert!((rates[1] - 1000.0).abs() < 5.0, "{rates:?}");
+    }
+
+    #[test]
+    fn handles_wraparound() {
+        // A 250 Hz sequence that crosses 2^32 mid-observation (Fig 6
+        // shows two such wraps).
+        let start = u64::from(u32::MAX) - 5_000;
+        let times: Vec<f64> = (0..200).map(|i| i as f64 * 10.0).collect();
+        let obs = synth(250.0, start, &times);
+        let procs = cluster(obs, 50.0);
+        assert_eq!(procs.len(), 1, "wrap split the sequence");
+        assert!((procs[0].rate_hz() - 250.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn seven_processes_like_fig6() {
+        // Six 250 Hz processes at distinct offsets plus one small
+        // 1000 Hz cluster — at least seven recovered, as in the paper.
+        let times: Vec<f64> = (0..300).map(|i| i as f64 * 120.0).collect();
+        let mut obs = Vec::new();
+        for k in 0..6u64 {
+            obs.extend(synth(250.0, k * 500_000_000, &times));
+        }
+        let small_times: Vec<f64> = (0..22).map(|i| 5_000.0 + i as f64 * 0.16).collect();
+        obs.extend(synth(1000.0, 4_100_000_000, &small_times));
+        let procs = cluster(obs, 50.0);
+        assert_eq!(procs.len(), 7, "found {}", procs.len());
+        let thousands = procs
+            .iter()
+            .filter(|p| p.points.len() >= 2 && (p.rate_hz() - 1000.0).abs() < 50.0)
+            .count();
+        assert_eq!(thousands, 1);
+    }
+
+    #[test]
+    fn single_point_is_its_own_process() {
+        let procs = cluster(vec![(0.0, 42)], 10.0);
+        assert_eq!(procs.len(), 1);
+        assert_eq!(procs[0].rate_hz(), 0.0);
+    }
+}

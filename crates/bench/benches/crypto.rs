@@ -1,0 +1,93 @@
+//! Throughput of the from-scratch cryptographic primitives that carry
+//! every byte of the reproduction.
+
+use bench::payload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sscrypto::cfb::Direction;
+use sscrypto::method::{Kind, Method, ALL_METHODS};
+
+fn hashes(c: &mut Criterion) {
+    let data = payload(16 * 1024, 1);
+    let mut g = c.benchmark_group("hashes");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("md5_16k", |b| b.iter(|| sscrypto::md5::md5(&data)));
+    g.bench_function("sha1_16k", |b| b.iter(|| sscrypto::sha1::sha1(&data)));
+    g.bench_function("sha256_16k", |b| b.iter(|| sscrypto::sha256::sha256(&data)));
+    g.finish();
+}
+
+fn kdfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kdf");
+    g.bench_function("evp_bytes_to_key_32", |b| {
+        b.iter(|| sscrypto::kdf::evp_bytes_to_key(b"benchmark-password", 32))
+    });
+    let key = [7u8; 32];
+    let salt = [9u8; 32];
+    g.bench_function("hkdf_ss_subkey_32", |b| {
+        b.iter(|| sscrypto::hkdf::ss_subkey(&key, &salt))
+    });
+    g.finish();
+}
+
+fn stream_ciphers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    let data = payload(4096, 2);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for &m in ALL_METHODS.iter().filter(|m| m.kind() == Kind::Stream) {
+        let key = vec![1u8; m.key_len()];
+        let iv = vec![2u8; m.iv_len()];
+        g.bench_with_input(BenchmarkId::new("encrypt_4k", m.name()), &m, |b, &m| {
+            b.iter(|| {
+                let mut cipher = m.new_stream(&key, &iv, Direction::Encrypt);
+                let mut buf = data.clone();
+                cipher.apply(&mut buf);
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+fn aead_ciphers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aead");
+    let data = payload(4096, 3);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for &m in [Method::Aes256Gcm, Method::ChaCha20IetfPoly1305].iter() {
+        let subkey = vec![1u8; m.key_len()];
+        let aead = m.new_aead(&subkey);
+        g.bench_with_input(BenchmarkId::new("seal_4k", m.name()), &m, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                aead.seal(&[0u8; 12], &[], &mut buf)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ss_framing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ss_framing");
+    let config = shadowsocks::ServerConfig::new(
+        Method::ChaCha20IetfPoly1305,
+        "bench-pw",
+        shadowsocks::Profile::LIBEV_NEW,
+    );
+    let data = payload(1400, 4);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("first_packet_aead", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use rand::SeedableRng;
+        b.iter(|| {
+            let mut session = shadowsocks::ClientSession::new(
+                &config,
+                shadowsocks::TargetAddr::Ipv4([1, 2, 3, 4], 443),
+                &mut rng,
+            );
+            session.send(&data)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, hashes, kdfs, stream_ciphers, aead_ciphers, ss_framing);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! GFW component costs: the per-packet and per-probe operations that
+//! the paper's adversary performs at line rate.
+
+use bench::payload;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gfw_core::delay::DelayModel;
+use gfw_core::passive::PassiveDetector;
+use gfw_core::scheduler::{Scheduler, SchedulerConfig};
+use netsim::packet::Ipv4;
+use netsim::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shadowsocks::bloom::PingPongBloom;
+
+fn passive(c: &mut Criterion) {
+    let det = PassiveDetector::default();
+    let mut g = c.benchmark_group("passive");
+    for len in [64usize, 400, 1400] {
+        let p = payload(len, len as u64);
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("store_probability_{len}"), |b| {
+            b.iter(|| det.store_probability(&p))
+        });
+    }
+    g.bench_function("entropy_400", |b| {
+        let p = payload(400, 9);
+        b.iter(|| analysis::shannon_entropy(&p))
+    });
+    g.finish();
+}
+
+fn scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.bench_function("stored_payload_fanout", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = payload(400, 11);
+        b.iter(|| {
+            let mut s = Scheduler::new(SchedulerConfig::default());
+            for _ in 0..100 {
+                s.on_stored_payload(SimTime::ZERO, (Ipv4::new(1, 2, 3, 4), 8388), &p, &mut rng);
+            }
+            s.pending()
+        })
+    });
+    g.bench_function("delay_model_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = DelayModel;
+        b.iter(|| m.sample(&mut rng))
+    });
+    g.finish();
+}
+
+fn replay_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay_filter");
+    g.bench_function("pingpong_bloom_check_insert", |b| {
+        let mut filter = PingPongBloom::new(100_000);
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i += 1;
+            filter.check_and_insert(&i.to_le_bytes())
+        })
+    });
+    g.bench_function("timed_filter_check", |b| {
+        let mut filter =
+            defense::TimedReplayFilter::new(netsim::time::Duration::from_secs(120));
+        let mut i: u64 = 0;
+        b.iter(|| {
+            i += 1;
+            let t = SimTime(i * 1_000_000);
+            filter.check(t, t, &i.to_le_bytes())
+        })
+    });
+    g.finish();
+}
+
+fn inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+    g.bench_function("infer_libev_old_aead", |b| {
+        b.iter(|| {
+            let config = shadowsocks::ServerConfig::new(
+                sscrypto::method::Method::Aes128Gcm,
+                "bench-pw",
+                shadowsocks::Profile::LIBEV_OLD,
+            );
+            let mut oracle = probesim::EngineOracle::new(config, 7);
+            probesim::infer(&mut oracle, 12)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, passive, scheduling, replay_filters, inference);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! One Criterion group per paper table/figure: each benchmark runs the
+//! corresponding experiment end-to-end at a reduced scale, asserting
+//! its headline shape. The printable full reports are the `exp-*`
+//! binaries of the `experiments` crate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::*;
+use experiments::runs::{shadowsocks_run, sink_run, SinkExp, SinkRunConfig, SsRunConfig};
+use experiments::Scale;
+use netsim::time::Duration;
+
+/// A small shared §3.1 run reused by the per-figure analysis benches.
+fn small_ss_run() -> experiments::runs::SsRunResult {
+    shadowsocks_run(&SsRunConfig {
+        connections: 600,
+        conn_interval: Duration::from_secs(20),
+        fleet_pool: 500,
+        nr_min_gap: Duration::from_mins(4),
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+fn table_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_render", |b| b.iter(table1::render));
+
+    let ss = small_ss_run();
+    g.bench_function("fig2_nr_lengths", |b| {
+        b.iter(|| {
+            let f = fig2::analyze(&ss.probes);
+            assert!(f.nr2_count > 0);
+            f.nr2_count
+        })
+    });
+    g.bench_function("fig3_probes_per_ip", |b| {
+        b.iter(|| fig3::analyze(&ss.probes).unique())
+    });
+    g.bench_function("table2_top_probers", |b| {
+        b.iter(|| table2::analyze(&ss.probes, 10).top.len())
+    });
+    g.bench_function("table3_as_attribution", |b| {
+        b.iter(|| table3::analyze(&ss.probes).unique_total)
+    });
+    g.bench_function("fig5_port_cdf", |b| {
+        b.iter(|| fig5::analyze(&ss.probe_syns).linux_frac)
+    });
+    g.bench_function("fig6_tsval_clustering", |b| {
+        b.iter(|| fig6::analyze(&ss.probe_syns).processes.len())
+    });
+    g.bench_function("fig7_delay_cdf", |b| {
+        b.iter(|| fig7::analyze(&ss.probes).all.len())
+    });
+
+    g.bench_function("fig4_overlap", |b| {
+        b.iter(|| fig4::run(Scale::Quick, 3).venn.abc)
+    });
+
+    let sink = sink_run(&SinkRunConfig {
+        exp: SinkExp::Exp1a,
+        connections: 6_000,
+        conn_interval: Duration::from_secs(2),
+        seed: 78,
+    });
+    g.bench_function("fig8_replay_lengths", |b| {
+        b.iter(|| fig8::analyze(&sink.probes, sink.triggers.len()).replay_lens.len())
+    });
+
+    g.bench_function("fig10_reaction_matrices", |b| {
+        b.iter(|| {
+            let f = fig10::run(Scale::Quick, 5);
+            f.stream.len() + f.aead.len()
+        })
+    });
+    g.bench_function("table5_replay_reactions", |b| {
+        b.iter(|| table5::run(Scale::Quick, 6).rows.len())
+    });
+    g.bench_function("inference_grid", |b| {
+        b.iter(|| inference::run(Scale::Quick, 7).identified())
+    });
+    g.finish();
+}
+
+/// The expensive end-to-end figures get their own group so the cheap
+/// analyses above keep tight confidence intervals.
+fn heavy_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_heavy");
+    g.sample_size(10);
+    g.bench_function("fig9_entropy_sweep_small", |b| {
+        b.iter(|| {
+            let r = sink_run(&SinkRunConfig {
+                exp: SinkExp::Exp3,
+                connections: 4_000,
+                conn_interval: Duration::from_secs(2),
+                seed: 79,
+            });
+            r.probes.len()
+        })
+    });
+    g.bench_function("fig11_brdgrd_small", |b| {
+        b.iter(|| {
+            let r = experiments::runs::brdgrd_run(&experiments::runs::BrdgrdRunConfig {
+                hours: 12,
+                active_windows: vec![(4, 8)],
+                conns_per_5min: 16,
+                seed: 80,
+            });
+            r.probes_per_hour.len()
+        })
+    });
+    g.bench_function("table4_random_data_small", |b| {
+        b.iter(|| {
+            let r = sink_run(&SinkRunConfig {
+                exp: SinkExp::Exp2,
+                connections: 3_000,
+                conn_interval: Duration::from_secs(2),
+                seed: 81,
+            });
+            r.probes.len()
+        })
+    });
+    g.bench_function("blocking_sensitive_small", |b| {
+        b.iter(|| {
+            let r = shadowsocks_run(&SsRunConfig {
+                profile: shadowsocks::Profile::OUTLINE_1_0_7,
+                method: sscrypto::method::Method::ChaCha20IetfPoly1305,
+                connections: 400,
+                conn_interval: Duration::from_secs(20),
+                sensitivity: 1.0,
+                fleet_pool: 400,
+                nr_min_gap: Duration::from_mins(4),
+                seed: 82,
+                ..Default::default()
+            });
+            r.block_rules.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table_figures, heavy_figures);
+criterion_main!(benches);

@@ -1,0 +1,313 @@
+//! Reaction classification: §5.2.2's "how an attacker uses the
+//! information" made executable.
+//!
+//! The classifier accumulates (probe, reaction) records per server and
+//! matches the statistics against the Fig 10 signatures. The paper
+//! observes that the GFW needs *several* probes before blocking a
+//! Shadowsocks server (unlike one probe for Tor), implying exactly this
+//! kind of statistical matching.
+
+use crate::probe::{ProbeKind, Reaction};
+use netsim::packet::SocketAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What the classifier concludes about one server.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Not enough evidence yet.
+    Inconclusive,
+    /// Reactions are inconsistent with any Shadowsocks signature.
+    NotShadowsocks,
+    /// Reactions match a Shadowsocks signature.
+    LikelyShadowsocks {
+        /// Matched signature.
+        signature: Signature,
+        /// Confidence in [0, 1].
+        confidence: f64,
+    },
+}
+
+/// Which Fig 10 row (family) the reactions match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Signature {
+    /// Answered a replay with data: a proxy with no replay filter
+    /// (OutlineVPN ≤ v1.0.8 et al.).
+    RepliesToReplay,
+    /// RST fraction to long random probes ≈ 13/16: stream cipher with
+    /// address-type masking (shadowsocks-libev ≤ v3.2.5).
+    StreamMasked,
+    /// RST fraction ≈ 253/256: stream cipher without masking.
+    StreamUnmasked,
+    /// Deterministic RST above a salt-dependent threshold and silence
+    /// below: AEAD, old libev.
+    AeadThresholdRst,
+    /// FIN at exactly 50 bytes: OutlineVPN v1.0.6.
+    OutlineFinAt50,
+    /// Everything times out — indistinguishable from a non-responsive
+    /// service; the post-fix implementations live here.
+    AllSilent,
+}
+
+/// Minimum probes before a verdict is attempted.
+pub const MIN_PROBES: usize = 8;
+
+#[derive(Default, Clone)]
+struct ServerStats {
+    /// (kind, payload_len, reaction) triples.
+    records: Vec<(ProbeKind, usize, Reaction)>,
+}
+
+/// The per-server reaction classifier.
+#[derive(Default)]
+pub struct Classifier {
+    servers: HashMap<SocketAddr, ServerStats>,
+}
+
+impl Classifier {
+    /// New, empty classifier.
+    pub fn new() -> Classifier {
+        Classifier::default()
+    }
+
+    /// Record one observed reaction.
+    pub fn record(
+        &mut self,
+        server: SocketAddr,
+        kind: ProbeKind,
+        payload_len: usize,
+        reaction: Reaction,
+    ) {
+        self.servers
+            .entry(server)
+            .or_default()
+            .records
+            .push((kind, payload_len, reaction));
+    }
+
+    /// Number of recorded reactions for a server.
+    pub fn observations(&self, server: SocketAddr) -> usize {
+        self.servers.get(&server).map_or(0, |s| s.records.len())
+    }
+
+    /// Classify a server from its accumulated reactions.
+    pub fn verdict(&self, server: SocketAddr) -> Verdict {
+        let Some(stats) = self.servers.get(&server) else {
+            return Verdict::Inconclusive;
+        };
+        let recs = &stats.records;
+        if recs.len() < MIN_PROBES {
+            // One shortcut needs no statistics: data in response to a
+            // replay is damning on its own.
+            if recs
+                .iter()
+                .any(|(k, _, r)| k.is_replay() && *r == Reaction::Data)
+            {
+                return Verdict::LikelyShadowsocks {
+                    signature: Signature::RepliesToReplay,
+                    confidence: 0.95,
+                };
+            }
+            return Verdict::Inconclusive;
+        }
+
+        // 1. Proxied replay.
+        if recs
+            .iter()
+            .any(|(k, _, r)| k.is_replay() && *r == Reaction::Data)
+        {
+            return Verdict::LikelyShadowsocks {
+                signature: Signature::RepliesToReplay,
+                confidence: 0.99,
+            };
+        }
+
+        // 2. FIN at exactly 50 bytes from random probes (Outline 1.0.6).
+        let fin50 = recs
+            .iter()
+            .filter(|(k, len, r)| !k.is_replay() && *len == 50 && *r == Reaction::FinAck)
+            .count();
+        if fin50 >= 2 {
+            return Verdict::LikelyShadowsocks {
+                signature: Signature::OutlineFinAt50,
+                confidence: 0.9,
+            };
+        }
+
+        // Long random probes (≥ 51 bytes) carry the implementation's
+        // statistical signature.
+        let long: Vec<&(ProbeKind, usize, Reaction)> = recs
+            .iter()
+            .filter(|(k, len, _)| !k.is_replay() && *len >= 51)
+            .collect();
+        if long.len() >= 4 {
+            let rst = long.iter().filter(|(_, _, r)| *r == Reaction::Rst).count() as f64
+                / long.len() as f64;
+            if rst > 0.97 {
+                // Could be AEAD-threshold RST or unmasked stream; short
+                // probes disambiguate (AEAD stays silent below its
+                // threshold, unmasked stream RSTs even short probes).
+                let short_rst = recs
+                    .iter()
+                    .filter(|(k, len, _)| !k.is_replay() && (17..=23).contains(len))
+                    .filter(|(_, _, r)| *r == Reaction::Rst)
+                    .count();
+                let signature = if short_rst > 0 {
+                    Signature::StreamUnmasked
+                } else {
+                    Signature::AeadThresholdRst
+                };
+                return Verdict::LikelyShadowsocks {
+                    signature,
+                    confidence: 0.85,
+                };
+            }
+            let expected = 13.0 / 16.0;
+            if (rst - expected).abs() < 0.12 {
+                return Verdict::LikelyShadowsocks {
+                    signature: Signature::StreamMasked,
+                    confidence: 0.8,
+                };
+            }
+            let timeout = long
+                .iter()
+                .filter(|(_, _, r)| *r == Reaction::Timeout)
+                .count() as f64
+                / long.len() as f64;
+            if timeout > 0.95 {
+                // Post-fix implementations are deliberately
+                // indistinguishable from silence.
+                return Verdict::LikelyShadowsocks {
+                    signature: Signature::AllSilent,
+                    confidence: 0.3,
+                };
+            }
+            return Verdict::NotShadowsocks;
+        }
+        Verdict::Inconclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::Ipv4;
+
+    fn server() -> SocketAddr {
+        (Ipv4::new(172, 0, 0, 9), 8388)
+    }
+
+    #[test]
+    fn replay_answered_with_data_is_damning() {
+        let mut c = Classifier::new();
+        c.record(server(), ProbeKind::R1, 400, Reaction::Data);
+        match c.verdict(server()) {
+            Verdict::LikelyShadowsocks { signature, .. } => {
+                assert_eq!(signature, Signature::RepliesToReplay)
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_probes_is_inconclusive() {
+        let mut c = Classifier::new();
+        c.record(server(), ProbeKind::Nr2, 221, Reaction::Rst);
+        assert_eq!(c.verdict(server()), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn stream_masked_signature() {
+        let mut c = Classifier::new();
+        // 13 RSTs, 3 timeouts out of 16 long probes ≈ 13/16.
+        for _ in 0..13 {
+            c.record(server(), ProbeKind::Nr2, 221, Reaction::Rst);
+        }
+        for _ in 0..3 {
+            c.record(server(), ProbeKind::Nr2, 221, Reaction::Timeout);
+        }
+        match c.verdict(server()) {
+            Verdict::LikelyShadowsocks { signature, .. } => {
+                assert_eq!(signature, Signature::StreamMasked)
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn aead_threshold_signature() {
+        let mut c = Classifier::new();
+        // Silent short probes, deterministic RST on long ones.
+        for len in [8usize, 16, 22, 33] {
+            c.record(server(), ProbeKind::Nr1, len, Reaction::Timeout);
+        }
+        for _ in 0..8 {
+            c.record(server(), ProbeKind::Nr2, 221, Reaction::Rst);
+        }
+        match c.verdict(server()) {
+            Verdict::LikelyShadowsocks { signature, .. } => {
+                assert_eq!(signature, Signature::AeadThresholdRst)
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn unmasked_stream_signature() {
+        let mut c = Classifier::new();
+        // RSTs even on short (17–23 byte) probes.
+        for len in [17usize, 22, 23] {
+            c.record(server(), ProbeKind::Nr1, len, Reaction::Rst);
+        }
+        for _ in 0..8 {
+            c.record(server(), ProbeKind::Nr2, 221, Reaction::Rst);
+        }
+        match c.verdict(server()) {
+            Verdict::LikelyShadowsocks { signature, .. } => {
+                assert_eq!(signature, Signature::StreamUnmasked)
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn outline_fin_at_50() {
+        let mut c = Classifier::new();
+        for _ in 0..6 {
+            c.record(server(), ProbeKind::Nr1, 49, Reaction::Timeout);
+        }
+        c.record(server(), ProbeKind::Nr1, 50, Reaction::FinAck);
+        c.record(server(), ProbeKind::Nr1, 50, Reaction::FinAck);
+        match c.verdict(server()) {
+            Verdict::LikelyShadowsocks { signature, .. } => {
+                assert_eq!(signature, Signature::OutlineFinAt50)
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn all_silent_is_low_confidence() {
+        let mut c = Classifier::new();
+        for _ in 0..12 {
+            c.record(server(), ProbeKind::Nr2, 221, Reaction::Timeout);
+        }
+        match c.verdict(server()) {
+            Verdict::LikelyShadowsocks { signature, confidence } => {
+                assert_eq!(signature, Signature::AllSilent);
+                assert!(confidence < 0.5);
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_web_server_is_not_shadowsocks() {
+        let mut c = Classifier::new();
+        // A web server answers random junk with data (an HTTP error).
+        for _ in 0..12 {
+            c.record(server(), ProbeKind::Nr2, 221, Reaction::Data);
+        }
+        assert_eq!(c.verdict(server()), Verdict::NotShadowsocks);
+    }
+}

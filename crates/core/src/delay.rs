@@ -1,0 +1,121 @@
+//! The replay-delay model (§3.5, Fig 7).
+//!
+//! Replay-based probes arrive anywhere from 0.28 seconds to 570 hours
+//! after the legitimate connection they copy. The paper's CDF: >20%
+//! within one second, >50% within one minute, >75% within 15 minutes,
+//! with a long heavy tail. We model this as a mixture of log-uniform
+//! bands.
+
+use netsim::time::Duration;
+use rand::Rng;
+
+/// Minimum observed delay (0.28 s).
+pub const MIN_DELAY_SECS: f64 = 0.28;
+
+/// Maximum observed delay (569.55 h).
+pub const MAX_DELAY_SECS: f64 = 569.55 * 3600.0;
+
+/// One mixture band: probability mass over a log-uniform interval.
+#[derive(Clone, Copy, Debug)]
+struct Band {
+    mass: f64,
+    lo_secs: f64,
+    hi_secs: f64,
+}
+
+const BANDS: [Band; 6] = [
+    Band { mass: 0.22, lo_secs: MIN_DELAY_SECS, hi_secs: 1.0 },
+    Band { mass: 0.33, lo_secs: 1.0, hi_secs: 60.0 },
+    Band { mass: 0.22, lo_secs: 60.0, hi_secs: 900.0 },
+    Band { mass: 0.13, lo_secs: 900.0, hi_secs: 3600.0 },
+    Band { mass: 0.07, lo_secs: 3600.0, hi_secs: 36_000.0 },
+    Band { mass: 0.03, lo_secs: 36_000.0, hi_secs: MAX_DELAY_SECS },
+];
+
+/// The Fig 7 delay distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DelayModel;
+
+impl DelayModel {
+    /// Sample a replay delay.
+    pub fn sample(&self, rng: &mut impl Rng) -> Duration {
+        let mut u: f64 = rng.gen();
+        for band in &BANDS {
+            if u < band.mass {
+                // Log-uniform within the band.
+                let ln_lo = band.lo_secs.ln();
+                let ln_hi = band.hi_secs.ln();
+                let s = (ln_lo + rng.gen::<f64>() * (ln_hi - ln_lo)).exp();
+                return Duration::from_secs_f64(s);
+            }
+            u -= band.mass;
+        }
+        Duration::from_secs_f64(MAX_DELAY_SECS)
+    }
+
+    /// Sample how many times one stored payload is replayed in total.
+    /// The paper saw 11,137 replays for 3,269 distinct payloads (mean
+    /// ≈3.4) with a maximum of 47.
+    pub fn replay_count(&self, rng: &mut impl Rng) -> usize {
+        // 1 + geometric(p = 0.295), capped at 47.
+        let mut n = 1usize;
+        while n < 47 && rng.gen_bool(1.0 - 0.295) {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masses_sum_to_one() {
+        let total: f64 = BANDS.iter().map(|b| b.mass).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_matches_paper_milestones() {
+        let m = DelayModel;
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| m.sample(&mut rng).as_secs_f64())
+            .collect();
+        let frac_below = |t: f64| {
+            samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64
+        };
+        assert!(frac_below(1.0) > 0.20, "≤1s: {}", frac_below(1.0));
+        assert!(frac_below(60.0) > 0.50, "≤1min: {}", frac_below(60.0));
+        assert!(frac_below(900.0) > 0.75, "≤15min: {}", frac_below(900.0));
+        // And a real tail exists.
+        assert!(frac_below(36_000.0) < 0.99);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let m = DelayModel;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let s = m.sample(&mut rng).as_secs_f64();
+            assert!(s >= MIN_DELAY_SECS - 1e-6, "{s}");
+            assert!(s <= MAX_DELAY_SECS + 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn replay_count_distribution() {
+        let m = DelayModel;
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts: Vec<usize> = (0..20_000).map(|_| m.replay_count(&mut rng)).collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - 3.4).abs() < 0.4, "mean {mean}");
+        assert!(counts.iter().all(|&c| (1..=47).contains(&c)));
+        // At least one payload replayed exactly once and one many times.
+        assert!(counts.iter().any(|&c| c == 1));
+        assert!(counts.iter().any(|&c| c > 15));
+    }
+}

@@ -1,0 +1,325 @@
+//! The assembled Great Firewall: an on-path tap (passive detection +
+//! blocking enforcement) and a controller application (probe launch +
+//! reaction observation), sharing state.
+//!
+//! ```text
+//!        border packets                probe connections
+//!   ┌────────[tap]────────┐      ┌──────[controller app]─────┐
+//!   │ blocking.should_drop │      │ fleet.assign → connect    │
+//!   │ passive.should_store │ ───▶ │ send payload, watch       │
+//!   │ scheduler.on_stored  │ wake │ reaction, classify, block │
+//!   └─────────────────────┘      └───────────────────────────┘
+//! ```
+
+use crate::blocking::{BlockingConfig, BlockingModule};
+use crate::classifier::{Classifier, Verdict};
+use crate::fleet::{Fleet, FleetConfig};
+use crate::passive::{PassiveConfig, PassiveDetector};
+use crate::probe::{ProbeRecord, Reaction};
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use netsim::app::{App, AppEvent, AppId, Ctx};
+use netsim::conn::ConnId;
+use netsim::packet::Packet;
+use netsim::sim::Simulator;
+use netsim::tap::{Tap, TapCtx, Verdict as TapVerdict};
+use netsim::time::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Full GFW configuration.
+#[derive(Clone, Debug, Default)]
+pub struct GfwConfig {
+    /// Passive detector parameters.
+    pub passive: PassiveConfig,
+    /// Scheduler parameters.
+    pub scheduler: SchedulerConfig,
+    /// Blocking policy.
+    pub blocking: BlockingConfig,
+    /// Prober fleet parameters.
+    pub fleet: FleetConfig,
+}
+
+/// Mutable GFW state shared between the tap and the controller.
+pub struct GfwState {
+    /// Passive detector.
+    pub passive: PassiveDetector,
+    /// Probe scheduler / replay store.
+    pub scheduler: Scheduler,
+    /// Blocking module.
+    pub blocking: BlockingModule,
+    /// Reaction classifier.
+    pub classifier: Classifier,
+    /// Prober fleet.
+    pub fleet: Fleet,
+    /// Every probe ever launched, with reactions as they resolve.
+    pub probe_log: Vec<ProbeRecord>,
+    /// Connections created by the GFW itself (never self-triggering).
+    own_conns: HashSet<ConnId>,
+    /// Connections whose first data packet was already inspected.
+    seen_data: HashSet<ConnId>,
+    /// First-data packets inspected (trigger candidates).
+    pub inspected: u64,
+    rng: StdRng,
+    controller: AppId,
+}
+
+/// Handle returned by [`Gfw::install`].
+pub struct GfwHandle {
+    /// Shared state for inspection by experiments.
+    pub state: Rc<RefCell<GfwState>>,
+    /// The controller's app id.
+    pub controller: AppId,
+}
+
+/// Namespace for installation.
+pub struct Gfw;
+
+const TOKEN_ORDERS: u64 = u64::MAX;
+
+impl Gfw {
+    /// Install the GFW on a simulator: registers the prober fleet's
+    /// hosts, the border tap, and the controller app.
+    pub fn install(sim: &mut Simulator, config: GfwConfig, seed: u64) -> GfwHandle {
+        let fleet = Fleet::install(sim, config.fleet.clone(), seed ^ 0xF1EE7);
+        // Reserve the controller's app slot first so the state can name
+        // it; the real app is pushed immediately after.
+        let state = Rc::new(RefCell::new(GfwState {
+            passive: PassiveDetector::new(config.passive.clone()),
+            scheduler: Scheduler::new(config.scheduler.clone()),
+            blocking: BlockingModule::new(config.blocking),
+            classifier: Classifier::new(),
+            fleet,
+            probe_log: Vec::new(),
+            own_conns: HashSet::new(),
+            seen_data: HashSet::new(),
+            inspected: 0,
+            rng: StdRng::seed_from_u64(seed),
+            controller: AppId(u32::MAX),
+        }));
+        let controller = sim.add_app(Box::new(GfwController {
+            state: state.clone(),
+            pending: HashMap::new(),
+            probe_timeout_secs: (5, 9),
+        }));
+        state.borrow_mut().controller = controller;
+        sim.add_tap(Box::new(GfwTap {
+            state: state.clone(),
+        }));
+        GfwHandle { state, controller }
+    }
+}
+
+/// The border tap.
+struct GfwTap {
+    state: Rc<RefCell<GfwState>>,
+}
+
+impl Tap for GfwTap {
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut TapCtx) -> TapVerdict {
+        let mut st = self.state.borrow_mut();
+        // 1. Enforcement: unidirectional null-routing.
+        if st.blocking.should_drop(ctx.now, pkt) {
+            return TapVerdict::Drop;
+        }
+        // 2. Never self-trigger on our own probes.
+        if st.own_conns.contains(&pkt.conn) {
+            return TapVerdict::Pass;
+        }
+        // 3. Connection-table hygiene.
+        if pkt.flags.rst || pkt.flags.fin {
+            st.seen_data.remove(&pkt.conn);
+            return TapVerdict::Pass;
+        }
+        // 4. First data-carrying packet of a connection: passive stage.
+        if pkt.has_payload() && st.seen_data.insert(pkt.conn) {
+            st.inspected += 1;
+            let server = pkt.dst;
+            if st.passive.is_candidate(&pkt.payload) {
+                st.scheduler.on_candidate(server, pkt.payload.len());
+            }
+            let store = {
+                let GfwState { passive, rng, .. } = &mut *st;
+                passive.should_store(&pkt.payload, rng)
+            };
+            if store {
+                let GfwState {
+                    scheduler, rng, ..
+                } = &mut *st;
+                scheduler.on_stored_payload(ctx.now, server, &pkt.payload, rng);
+                if let Some(due) = st.scheduler.next_due() {
+                    ctx.wake_app(st.controller, due, TOKEN_ORDERS);
+                }
+            }
+        }
+        TapVerdict::Pass
+    }
+}
+
+struct PendingProbe {
+    log_idx: usize,
+    payload: Vec<u8>,
+    sent: bool,
+}
+
+/// The controller app: fires due orders, observes reactions.
+struct GfwController {
+    state: Rc<RefCell<GfwState>>,
+    pending: HashMap<ConnId, PendingProbe>,
+    probe_timeout_secs: (u64, u64),
+}
+
+impl GfwController {
+    fn launch_due(&mut self, ctx: &mut Ctx) {
+        let orders = {
+            let mut st = self.state.borrow_mut();
+            st.scheduler.pop_due(ctx.now)
+        };
+        for order in orders {
+            let (source, log_idx) = {
+                let mut st = self.state.borrow_mut();
+                let source = st.fleet.assign(ctx.now);
+                let log_idx = st.probe_log.len();
+                st.probe_log.push(ProbeRecord {
+                    server: order.server,
+                    kind: order.kind,
+                    sent_at: ctx.now,
+                    trigger_delay: order.trigger_delay,
+                    trigger_id: order.trigger_id,
+                    payload_len: order.payload.len(),
+                    src: source.ip,
+                    src_port: source.port,
+                    process: source.process,
+                    reaction: None,
+                });
+                (source, log_idx)
+            };
+            let conn = ctx.connect(source.ip, order.server, source.tuning);
+            self.state.borrow_mut().own_conns.insert(conn);
+            self.pending.insert(
+                conn,
+                PendingProbe {
+                    log_idx,
+                    payload: order.payload,
+                    sent: false,
+                },
+            );
+        }
+        // Re-arm for the next order.
+        let next = self.state.borrow().scheduler.next_due();
+        if let Some(due) = next {
+            ctx.set_timer(due.since(ctx.now), TOKEN_ORDERS);
+        }
+    }
+
+    fn resolve(&mut self, conn: ConnId, reaction: Reaction, ctx: &mut Ctx) {
+        let Some(p) = self.pending.remove(&conn) else {
+            return;
+        };
+        let mut st = self.state.borrow_mut();
+        st.probe_log[p.log_idx].reaction = Some(reaction);
+        let record = st.probe_log[p.log_idx].clone();
+        st.classifier
+            .record(record.server, record.kind, record.payload_len, reaction);
+        // Data response unlocks stage 2 for this server (§4.2).
+        if reaction == Reaction::Data {
+            let GfwState {
+                scheduler, rng, ..
+            } = &mut *st;
+            scheduler.unlock_stage2(ctx.now, record.server, rng);
+        }
+        // Classification → possible blocking decision.
+        if let Verdict::LikelyShadowsocks { confidence, .. } =
+            st.classifier.verdict(record.server)
+        {
+            let GfwState {
+                blocking, rng, ..
+            } = &mut *st;
+            blocking.consider(ctx.now, record.server, confidence, rng);
+        }
+        drop(st);
+        // Wake ourselves in case stage-2 unlock queued new orders.
+        let next = self.state.borrow().scheduler.next_due();
+        if let Some(due) = next {
+            ctx.set_timer(due.since(ctx.now), TOKEN_ORDERS);
+        }
+    }
+}
+
+impl App for GfwController {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Timer { token } if token == TOKEN_ORDERS => {
+                self.launch_due(ctx);
+            }
+            AppEvent::Timer { token } => {
+                // Per-probe timeout: the prober gives up and FINs first.
+                let conn = ConnId(token);
+                if self.pending.contains_key(&conn) {
+                    ctx.fin(conn);
+                    self.resolve(conn, Reaction::Timeout, ctx);
+                }
+            }
+            AppEvent::Connected { conn } => {
+                if let Some(p) = self.pending.get_mut(&conn) {
+                    if !p.sent {
+                        p.sent = true;
+                        ctx.send(conn, p.payload.clone());
+                        let secs = ctx
+                            .rng
+                            .gen_range(self.probe_timeout_secs.0..=self.probe_timeout_secs.1);
+                        ctx.set_timer(Duration::from_secs(secs), conn.0);
+                    }
+                }
+            }
+            AppEvent::ConnectFailed { conn, .. } => {
+                self.resolve(conn, Reaction::ConnectFailed, ctx);
+            }
+            AppEvent::Data { conn, .. } => {
+                if self.pending.contains_key(&conn) {
+                    ctx.fin(conn);
+                    self.resolve(conn, Reaction::Data, ctx);
+                }
+            }
+            AppEvent::PeerRst { conn } => {
+                self.resolve(conn, Reaction::Rst, ctx);
+            }
+            AppEvent::PeerFin { conn } => {
+                if self.pending.contains_key(&conn) {
+                    ctx.fin(conn);
+                    self.resolve(conn, Reaction::FinAck, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Convenience for experiments: summarize the probe log.
+pub fn probe_summary(state: &GfwState) -> HashMap<crate::probe::ProbeKind, usize> {
+    let mut counts = HashMap::new();
+    for rec in &state.probe_log {
+        *counts.entry(rec.kind).or_insert(0) += 1;
+    }
+    counts
+}
+
+impl GfwState {
+    /// Immutable access to the probe log.
+    pub fn probes(&self) -> &[ProbeRecord] {
+        &self.probe_log
+    }
+
+    /// How many first-data packets the passive stage inspected.
+    pub fn inspected_connections(&self) -> u64 {
+        self.inspected
+    }
+
+    /// Timestamp clock of prober process `i` (for TSval ground truth).
+    pub fn process_clock(&self, i: usize) -> netsim::host::TsClock {
+        self.fleet.processes[i].clock
+    }
+}
+

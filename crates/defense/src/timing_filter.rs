@@ -1,0 +1,184 @@
+//! Nonce + timestamp replay filtering (§7.2).
+//!
+//! A purely nonce-based filter plays an unwinnable memory game: the
+//! censor can replay after 570 hours (§3.5) or across a server restart,
+//! but the server cannot remember every nonce forever. Binding each
+//! connection to a client timestamp inverts the asymmetry (the VMess
+//! approach): the server accepts only timestamps within ±`window` and
+//! needs to remember nonces only for that window — bounded memory,
+//! sound across restarts for anything older than the window.
+
+use netsim::time::{Duration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Why a connection attempt was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictReason {
+    /// Accepted: fresh timestamp, unseen nonce.
+    Accept,
+    /// Timestamp outside the acceptance window (stale or future).
+    StaleTimestamp,
+    /// Nonce already seen inside the window.
+    ReplayedNonce,
+}
+
+/// A timestamp-scoped nonce filter with bounded memory.
+pub struct TimedReplayFilter {
+    /// Acceptance window: |now − claimed| must be ≤ this.
+    pub window: Duration,
+    seen: HashMap<Vec<u8>, SimTime>,
+    order: VecDeque<(SimTime, Vec<u8>)>,
+}
+
+impl TimedReplayFilter {
+    /// Create with an acceptance window (VMess uses ±120 s).
+    pub fn new(window: Duration) -> TimedReplayFilter {
+        TimedReplayFilter {
+            window,
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        while let Some((t, _)) = self.order.front() {
+            if now.since(*t) > self.window {
+                let (_, nonce) = self.order.pop_front().unwrap();
+                // Only remove if not re-inserted later (same nonce can't
+                // be re-inserted while present, so this is safe).
+                self.seen.remove(&nonce);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Check a connection carrying `claimed` (the client's embedded
+    /// timestamp) and `nonce` (its IV/salt) at local time `now`.
+    pub fn check(&mut self, now: SimTime, claimed: SimTime, nonce: &[u8]) -> VerdictReason {
+        self.expire(now);
+        let skew = if now >= claimed {
+            now.since(claimed)
+        } else {
+            claimed.since(now)
+        };
+        if skew > self.window {
+            return VerdictReason::StaleTimestamp;
+        }
+        if self.seen.contains_key(nonce) {
+            return VerdictReason::ReplayedNonce;
+        }
+        self.seen.insert(nonce.to_vec(), now);
+        self.order.push_back((now, nonce.to_vec()));
+        VerdictReason::Accept
+    }
+
+    /// Nonces currently remembered (bounded by traffic within one
+    /// window — the whole point).
+    pub fn remembered(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Simulate a restart: memory is lost, but unlike the pure-nonce
+    /// filter, only replays *inside the current window* can slip
+    /// through afterwards.
+    pub fn restart(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn accepts_fresh_rejects_replay() {
+        let mut f = TimedReplayFilter::new(Duration::from_secs(120));
+        assert_eq!(f.check(t(1000), t(1000), b"nonce-a"), VerdictReason::Accept);
+        assert_eq!(
+            f.check(t(1001), t(1000), b"nonce-a"),
+            VerdictReason::ReplayedNonce
+        );
+    }
+
+    #[test]
+    fn rejects_stale_and_future_timestamps() {
+        let mut f = TimedReplayFilter::new(Duration::from_secs(120));
+        // The 570-hour replay of §3.5 dies here with no memory at all.
+        assert_eq!(
+            f.check(t(2_052_000), t(0), b"old"),
+            VerdictReason::StaleTimestamp
+        );
+        assert_eq!(
+            f.check(t(0), t(10_000), b"future"),
+            VerdictReason::StaleTimestamp
+        );
+        assert_eq!(f.remembered(), 0);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_window() {
+        let mut f = TimedReplayFilter::new(Duration::from_secs(100));
+        for i in 0..10_000u64 {
+            let now = t(i);
+            f.check(now, now, &i.to_le_bytes());
+        }
+        // Only ~window seconds of nonces are retained.
+        assert!(f.remembered() <= 102, "{}", f.remembered());
+    }
+
+    #[test]
+    fn nonce_can_recur_after_window() {
+        // Outside the window the *timestamp* gate already rejects, so
+        // forgetting the nonce is harmless.
+        let mut f = TimedReplayFilter::new(Duration::from_secs(100));
+        assert_eq!(f.check(t(0), t(0), b"n"), VerdictReason::Accept);
+        assert_eq!(f.check(t(500), t(0), b"n"), VerdictReason::StaleTimestamp);
+        // A *new* connection legitimately reusing the nonce much later
+        // (e.g. random collision) is fine.
+        assert_eq!(f.check(t(500), t(500), b"n"), VerdictReason::Accept);
+    }
+
+    #[test]
+    fn restart_exposure_is_one_window_only() {
+        let mut f = TimedReplayFilter::new(Duration::from_secs(120));
+        assert_eq!(f.check(t(1000), t(1000), b"captured"), VerdictReason::Accept);
+        f.restart();
+        // Replay shortly after restart, inside the window: slips through
+        // (the bounded exposure).
+        assert_eq!(f.check(t(1060), t(1000), b"captured"), VerdictReason::Accept);
+        // Replay after the window: timestamp gate holds despite the
+        // restart — the pure-nonce filter fails this case (§7.2).
+        assert_eq!(
+            f.check(t(2000), t(1000), b"captured"),
+            VerdictReason::StaleTimestamp
+        );
+    }
+
+    #[test]
+    fn contrast_with_pure_nonce_filter_across_restart() {
+        // The paper's asymmetry, demonstrated: the Bloom filter forgets
+        // on restart and accepts the replay; the timed filter does not.
+        let mut bloom = shadowsocks::bloom::PingPongBloom::new(1000);
+        assert!(!bloom.check_and_insert(b"captured"));
+        bloom.restart();
+        assert!(
+            !bloom.check_and_insert(b"captured"),
+            "pure-nonce filter accepts the replay after restart"
+        );
+
+        let mut timed = TimedReplayFilter::new(Duration::from_secs(120));
+        timed.check(t(0), t(0), b"captured");
+        timed.restart();
+        assert_eq!(
+            timed.check(t(10_000), t(0), b"captured"),
+            VerdictReason::StaleTimestamp,
+            "timed filter rejects it regardless of the restart"
+        );
+    }
+}

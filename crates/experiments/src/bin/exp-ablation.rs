@@ -1,0 +1,10 @@
+//! Binary for Ablations (detector features, staged probing) (reproduction extension).
+
+use experiments::figures::ablation;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Ablations (detector features, staged probing) ==  (scale {scale:?})\n");
+    println!("{}", ablation::run(scale, 2020));
+}

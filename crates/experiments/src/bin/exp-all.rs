@@ -1,0 +1,31 @@
+//! Run every experiment at quick scale and print the full report —
+//! the one-command regeneration of the paper's evaluation.
+
+use experiments::figures::*;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("==== gfwsim: regenerating all tables & figures (scale {scale:?}) ====\n");
+    println!("== Table 1 ==\n{}", table1::render());
+    println!("== Fig 2 ==\n{}", fig2::run(scale, seed));
+    println!("== Fig 3 ==\n{}", fig3::run(scale, seed));
+    println!("== Table 2 ==\n{}", table2::run(scale, seed));
+    println!("== Fig 4 ==\n{}", fig4::run(scale, seed));
+    println!("== Table 3 ==\n{}", table3::run(scale, seed));
+    println!("== Fig 5 ==\n{}", fig5::run(scale, seed));
+    println!("== Fig 6 ==\n{}", fig6::run(scale, seed));
+    println!("== Fig 7 ==\n{}", fig7::run(scale, seed));
+    println!("== Table 4 ==\n{}", table4::run(scale, seed));
+    println!("== Fig 8 ==\n{}", fig8::run(scale, seed));
+    println!("== Fig 9 ==\n{}", fig9::run(scale, seed));
+    println!("== Fig 10 ==\n{}", fig10::run(scale, seed));
+    println!("== Table 5 ==\n{}", table5::run(scale, seed));
+    println!("== Fig 11 ==\n{}", fig11::run(scale, seed));
+    println!("== S6 blocking ==\n{}", blocking::run(scale, seed));
+    println!("== S5.2.2 inference ==\n{}", inference::run(scale, seed));
+    println!("== Extension: ablations ==\n{}", ablation::run(scale, seed));
+    println!("== Extension: fully-encrypted protocols (S9) ==\n{}", fep::run(scale, seed));
+    println!("== Extension: probe battery size ==\n{}", battery::run(scale, seed));
+}

@@ -1,0 +1,10 @@
+//! Binary for Ablation (probe battery size) (reproduction extension).
+
+use experiments::figures::battery;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Ablation (probe battery size) ==  (scale {scale:?})\n");
+    println!("{}", battery::run(scale, 2020));
+}

@@ -1,0 +1,14 @@
+//! Binary regenerating S6 (blocking behaviour) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::blocking;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== S6 (blocking behaviour) ==  (scale {scale:?}, seed {seed})\n");
+    let result = blocking::run(scale, seed);
+    println!("{result}");
+}

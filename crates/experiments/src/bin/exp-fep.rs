@@ -1,0 +1,10 @@
+//! Binary for S9 (fully-encrypted protocols) (reproduction extension).
+
+use experiments::figures::fep;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== S9 (fully-encrypted protocols) ==  (scale {scale:?})\n");
+    println!("{}", fep::run(scale, 2020));
+}

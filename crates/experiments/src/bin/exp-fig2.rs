@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 2 (random probe lengths) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig2;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 2 (random probe lengths) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig2::run(scale, seed);
+    println!("{result}");
+}

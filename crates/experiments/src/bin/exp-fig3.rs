@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 3 (probes per prober IP) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig3;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 3 (probes per prober IP) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig3::run(scale, seed);
+    println!("{result}");
+}

@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 4 (prober set overlap) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig4;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 4 (prober set overlap) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig4::run(scale, seed);
+    println!("{result}");
+}

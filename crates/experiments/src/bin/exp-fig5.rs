@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 5 (source-port CDF) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig5;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 5 (source-port CDF) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig5::run(scale, seed);
+    println!("{result}");
+}

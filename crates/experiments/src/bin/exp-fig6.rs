@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 6 (TSval processes) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig6;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 6 (TSval processes) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig6::run(scale, seed);
+    println!("{result}");
+}

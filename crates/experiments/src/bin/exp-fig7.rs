@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 7 (replay delays) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig7;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 7 (replay delays) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig7::run(scale, seed);
+    println!("{result}");
+}

@@ -1,0 +1,14 @@
+//! Binary regenerating Fig 8 (replayed payload lengths) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::fig8;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Fig 8 (replayed payload lengths) ==  (scale {scale:?}, seed {seed})\n");
+    let result = fig8::run(scale, seed);
+    println!("{result}");
+}

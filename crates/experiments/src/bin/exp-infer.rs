@@ -1,0 +1,14 @@
+//! Binary regenerating S5.2.2 (implementation inference) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::inference;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== S5.2.2 (implementation inference) ==  (scale {scale:?}, seed {seed})\n");
+    let result = inference::run(scale, seed);
+    println!("{result}");
+}

@@ -1,0 +1,9 @@
+//! Binary regenerating Table 1 (experiment timeline) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020).
+
+use experiments::figures::table1;
+
+fn main() {
+    println!("== Table 1 (experiment timeline) ==\n");
+    println!("{}", table1::render());
+}

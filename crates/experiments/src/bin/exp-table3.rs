@@ -1,0 +1,14 @@
+//! Binary regenerating Table 3 (prober ASes) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::table3;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Table 3 (prober ASes) ==  (scale {scale:?}, seed {seed})\n");
+    let result = table3::run(scale, seed);
+    println!("{result}");
+}

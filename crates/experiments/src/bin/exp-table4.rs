@@ -1,0 +1,14 @@
+//! Binary regenerating Table 4 (random-data experiments) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::table4;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Table 4 (random-data experiments) ==  (scale {scale:?}, seed {seed})\n");
+    let result = table4::run(scale, seed);
+    println!("{result}");
+}

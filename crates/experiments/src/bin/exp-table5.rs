@@ -1,0 +1,14 @@
+//! Binary regenerating Table 5 (replay reactions) of *How China Detects and Blocks
+//! Shadowsocks* (IMC 2020). Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::table5;
+use experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Table 5 (replay reactions) ==  (scale {scale:?}, seed {seed})\n");
+    let result = table5::run(scale, seed);
+    println!("{result}");
+}

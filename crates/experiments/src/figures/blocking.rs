@@ -1,0 +1,150 @@
+//! §6: the blocking module's behaviour.
+//!
+//! Paper shape: despite intensive probing, few servers are blocked
+//! (human factor); blocks are by port or by whole IP; only the
+//! server→client direction is dropped; unblocking happens lazily (a
+//! server came back after more than a week, with no re-check probes).
+
+use crate::report::Comparison;
+use crate::runs::{shadowsocks_run, SsRunConfig};
+use crate::Scale;
+use gfw_core::blocking::BlockScope;
+use netsim::time::Duration;
+use shadowsocks::Profile;
+use sscrypto::method::Method;
+
+/// Result of the blocking study.
+pub struct Blocking {
+    /// Rules installed under a sensitive regime.
+    pub sensitive_rules: usize,
+    /// Rules installed under an ordinary regime.
+    pub ordinary_rules: usize,
+    /// Suppressed (eligible but passed over) decisions under the
+    /// ordinary regime.
+    pub ordinary_suppressed: u64,
+    /// Scope mix under the sensitive regime: (port blocks, ip blocks).
+    pub scopes: (usize, usize),
+    /// Rule durations in hours.
+    pub durations_h: Vec<f64>,
+}
+
+impl Blocking {
+    /// Comparison with the paper.
+    pub fn comparison(&self) -> Comparison {
+        let mut c = Comparison::new();
+        c.add(
+            "sensitive period → blocked",
+            "servers blocked during sensitive times",
+            self.sensitive_rules,
+            self.sensitive_rules >= 1,
+        );
+        c.add(
+            "ordinary period → rarely blocked",
+            "few of the probed servers blocked",
+            format!(
+                "{} rules ({} suppressed verdicts)",
+                self.ordinary_rules, self.ordinary_suppressed
+            ),
+            self.ordinary_rules == 0 && self.ordinary_suppressed > 0,
+        );
+        let min_dur = self.durations_h.iter().copied().fold(f64::MAX, f64::min);
+        c.add(
+            "block durations ≥ a week",
+            "unblocked after more than a week",
+            if self.durations_h.is_empty() {
+                "no rules".to_string()
+            } else {
+                format!("min {min_dur:.0} h")
+            },
+            !self.durations_h.is_empty() && min_dur >= 7.0 * 24.0,
+        );
+        c
+    }
+}
+
+impl std::fmt::Display for Blocking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§6 — blocking behaviour\n")?;
+        writeln!(
+            f,
+            "  sensitive regime: {} rules (port: {}, ip: {})",
+            self.sensitive_rules, self.scopes.0, self.scopes.1
+        )?;
+        writeln!(
+            f,
+            "  ordinary regime: {} rules, {} suppressed verdicts",
+            self.ordinary_rules, self.ordinary_suppressed
+        )?;
+        writeln!(f)?;
+        write!(f, "{}", self.comparison().render())
+    }
+}
+
+/// Run the study: the same Outline server (which the classifier can
+/// confirm) under sensitivity 1.0 and 0.0.
+pub fn run(scale: Scale, seed: u64) -> Blocking {
+    let base = SsRunConfig {
+        profile: Profile::OUTLINE_1_0_7,
+        method: Method::ChaCha20IetfPoly1305,
+        connections: scale.pick(700, 5_000),
+        conn_interval: Duration::from_secs(20),
+        fleet_pool: scale.pick(600, 4_000),
+        nr_min_gap: Duration::from_mins(4),
+        seed,
+        ..Default::default()
+    };
+
+    let sensitive = shadowsocks_run(&SsRunConfig {
+        sensitivity: 1.0,
+        ..base.clone()
+    });
+    let ordinary_res = {
+        let mut world = crate::runs::build_ss_world(&SsRunConfig {
+            sensitivity: 0.0,
+            ..base.clone()
+        });
+        for i in 0..base.connections {
+            world.sim.connect_at(
+                netsim::time::SimTime::ZERO
+                    + Duration::from_nanos(base.conn_interval.as_nanos() * i as u64),
+                world.driver,
+                world.client_ip,
+                (world.server_ip, 8388),
+                netsim::conn::TcpTuning::default(),
+            );
+        }
+        world.sim.run();
+        let st = world.handle.state.borrow();
+        (st.blocking.all_rules().len(), st.blocking.suppressed)
+    };
+
+    let scopes = sensitive.block_rules.iter().fold((0, 0), |acc, r| {
+        match r.scope {
+            BlockScope::Port(_) => (acc.0 + 1, acc.1),
+            BlockScope::Ip(_) => (acc.0, acc.1 + 1),
+        }
+    });
+    let durations_h = sensitive
+        .block_rules
+        .iter()
+        .map(|r| r.until.since(r.since).as_secs_f64() / 3600.0)
+        .collect();
+    Blocking {
+        sensitive_rules: sensitive.block_rules.len(),
+        ordinary_rules: ordinary_res.0,
+        ordinary_suppressed: ordinary_res.1,
+        scopes,
+        durations_h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_factor_gates_blocking() {
+        let b = run(Scale::Quick, 16);
+        assert!(b.comparison().all_hold(), "\n{b}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig 2: occurrences of random probes (NR1, NR2) by length.
+//!
+//! Paper shape: NR1 lengths fall in trios (n−1, n, n+1) for n ∈
+//! {8, 12, 16, 22, 33, 41, 49}, roughly evenly; NR2 probes are exactly
+//! 221 bytes and about three times as common as all NR1 probes
+//! together.
+
+use crate::report::{Comparison, Table};
+use crate::runs::{shadowsocks_run, SsRunConfig};
+use crate::Scale;
+use analysis::stats::Histogram;
+use gfw_core::probe::{is_nr1_len, ProbeKind, ProbeRecord, NR2_LEN};
+
+/// Result of the Fig 2 analysis.
+pub struct Fig2 {
+    /// Histogram of NR1 lengths.
+    pub nr1_hist: Histogram,
+    /// NR2 count.
+    pub nr2_count: u64,
+    /// Total NR1 count.
+    pub nr1_count: u64,
+}
+
+impl Fig2 {
+    /// NR2-to-NR1 ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.nr1_count == 0 {
+            return f64::INFINITY;
+        }
+        self.nr2_count as f64 / self.nr1_count as f64
+    }
+
+    /// Paper-vs-measured comparison.
+    pub fn comparison(&self) -> Comparison {
+        let mut c = Comparison::new();
+        let all_trios = self
+            .nr1_hist
+            .sorted()
+            .iter()
+            .all(|&(len, _)| is_nr1_len(len as usize));
+        c.add("NR1 lengths confined to trios", "yes", all_trios, all_trios);
+        c.add(
+            "NR2 ≈ 3× all NR1 together",
+            "≈3",
+            format!("{:.2}", self.ratio()),
+            self.ratio() > 1.5 && self.ratio() < 6.0,
+        );
+        c
+    }
+}
+
+impl std::fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig 2 — random probe occurrences by length\n")?;
+        let mut t = Table::new(&["length (bytes)", "type", "count"]);
+        for (len, count) in self.nr1_hist.sorted() {
+            t.row(&[len.to_string(), "NR1".into(), count.to_string()]);
+        }
+        t.row(&[NR2_LEN.to_string(), "NR2".into(), self.nr2_count.to_string()]);
+        write!(f, "{}", t.render())?;
+        writeln!(f)?;
+        write!(f, "{}", self.comparison().render())
+    }
+}
+
+/// Analyze probe records.
+pub fn analyze(probes: &[ProbeRecord]) -> Fig2 {
+    let mut nr1_hist = Histogram::new();
+    let mut nr2 = 0u64;
+    let mut nr1 = 0u64;
+    for p in probes {
+        match p.kind {
+            ProbeKind::Nr1 => {
+                nr1 += 1;
+                nr1_hist.add(p.payload_len as i64);
+            }
+            ProbeKind::Nr2 => nr2 += 1,
+            _ => {}
+        }
+    }
+    Fig2 {
+        nr1_hist,
+        nr2_count: nr2,
+        nr1_count: nr1,
+    }
+}
+
+/// Run the experiment at the given scale.
+pub fn run(scale: Scale, seed: u64) -> Fig2 {
+    let cfg = SsRunConfig {
+        connections: scale.pick(2_500, 30_000),
+        conn_interval: netsim::time::Duration::from_secs(scale.pick(20, 30)),
+        fleet_pool: scale.pick(1_000, 8_000),
+        nr_min_gap: netsim::time::Duration::from_mins(scale.pick(4, 18)),
+        seed,
+        ..Default::default()
+    };
+    analyze(&shadowsocks_run(&cfg).probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds_at_quick_scale() {
+        let fig = run(Scale::Quick, 2);
+        assert!(fig.nr2_count > 0, "no NR2 probes");
+        assert!(fig.nr1_count > 0, "no NR1 probes");
+        assert!(fig.comparison().all_hold(), "\n{fig}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig 5: CDF of TCP source ports of prober SYNs.
+//!
+//! Paper shape: ~90% of probes come from the default Linux ephemeral
+//! range 32768–60999; no port below 1024 (lowest observed 1212,
+//! highest 65237).
+
+use crate::report::Comparison;
+use crate::runs::{shadowsocks_run, SsRunConfig, SynObs};
+use crate::Scale;
+use analysis::stats::Cdf;
+
+/// Result of the Fig 5 analysis.
+pub struct Fig5 {
+    /// Port CDF.
+    pub cdf: Cdf,
+    /// Fraction inside 32768–60999.
+    pub linux_frac: f64,
+    /// Lowest port.
+    pub min: u16,
+    /// Highest port.
+    pub max: u16,
+}
+
+impl Fig5 {
+    /// Comparison with the paper.
+    pub fn comparison(&self) -> Comparison {
+        let mut c = Comparison::new();
+        c.add(
+            "fraction in Linux ephemeral range",
+            "≈90%",
+            format!("{:.0}%", self.linux_frac * 100.0),
+            (self.linux_frac - 0.90).abs() < 0.07,
+        );
+        c.add("no ports below 1024", "≥1024", self.min, self.min >= 1024);
+        c.add(
+            "ports span beyond the range too",
+            "min 1212 / max 65237",
+            format!("min {} / max {}", self.min, self.max),
+            self.min < 32768 && self.max > 60999,
+        );
+        c
+    }
+}
+
+impl std::fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig 5 — prober source-port CDF ({} SYNs)\n",
+            self.cdf.len()
+        )?;
+        for (x, y) in self.cdf.curve(11) {
+            writeln!(f, "  port ≤ {:>5}: {:>5.1}%", x as u32, y * 100.0)?;
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.comparison().render())
+    }
+}
+
+/// Analyze captured probe SYNs.
+pub fn analyze(syns: &[SynObs]) -> Fig5 {
+    assert!(!syns.is_empty(), "no probe SYNs captured");
+    let ports: Vec<u16> = syns.iter().map(|s| s.sport).collect();
+    let linux = ports
+        .iter()
+        .filter(|&&p| (32768..=60999).contains(&p))
+        .count() as f64
+        / ports.len() as f64;
+    Fig5 {
+        cdf: Cdf::new(ports.iter().map(|&p| p as f64).collect()),
+        linux_frac: linux,
+        min: *ports.iter().min().unwrap(),
+        max: *ports.iter().max().unwrap(),
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig5 {
+    let cfg = SsRunConfig {
+        connections: scale.pick(2_500, 30_000),
+        fleet_pool: scale.pick(1_000, 8_000),
+        nr_min_gap: netsim::time::Duration::from_mins(scale.pick(4, 18)),
+        seed,
+        ..Default::default()
+    };
+    analyze(&shadowsocks_run(&cfg).probe_syns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_shape_holds() {
+        let fig = run(Scale::Quick, 7);
+        assert!(fig.min >= 1024);
+        assert!(
+            (fig.linux_frac - 0.9).abs() < 0.1,
+            "linux frac {}",
+            fig.linux_frac
+        );
+    }
+}

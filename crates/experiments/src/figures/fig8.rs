@@ -1,0 +1,139 @@
+//! Fig 8: CDF of the payload lengths of replay-based probes (Exp 1.a).
+//!
+//! Paper shape: trigger lengths are uniform in [1, 1000], but replayed
+//! payloads fall between 161 and 999 bytes with a stair-step CDF: in
+//! 168–263, 72% of replays have length ≡ 9 (mod 16); in 384–687, 96%
+//! have length ≡ 2 (mod 16); 264–383 mixes both.
+
+use crate::report::Comparison;
+use crate::runs::{sink_run, SinkExp, SinkRunConfig};
+use crate::Scale;
+use analysis::stats::Cdf;
+use gfw_core::probe::{ProbeKind, ProbeRecord};
+
+/// Result of the Fig 8 analysis.
+pub struct Fig8 {
+    /// Identical-replay payload lengths.
+    pub replay_lens: Vec<usize>,
+    /// Trigger connection count.
+    pub triggers: usize,
+}
+
+impl Fig8 {
+    fn rem_share(&self, range: (usize, usize), rem: usize) -> f64 {
+        let in_band: Vec<usize> = self
+            .replay_lens
+            .iter()
+            .copied()
+            .filter(|&l| (range.0..=range.1).contains(&l))
+            .collect();
+        if in_band.is_empty() {
+            return 0.0;
+        }
+        in_band.iter().filter(|&&l| l % 16 == rem).count() as f64 / in_band.len() as f64
+    }
+
+    /// Comparison with the paper.
+    pub fn comparison(&self) -> Comparison {
+        let min = self.replay_lens.iter().min().copied().unwrap_or(0);
+        let max = self.replay_lens.iter().max().copied().unwrap_or(0);
+        let low9 = self.rem_share((168, 263), 9);
+        let high2 = self.rem_share((384, 687), 2);
+        let mut c = Comparison::new();
+        c.add(
+            "replay window",
+            "161–999 bytes",
+            format!("{min}–{max}"),
+            min >= 161 && max <= 999,
+        );
+        // Only 6 of 103 lengths in the low band have remainder 9, so
+        // dominance (≥50%) is a ~9× enrichment; the exact 72% needs
+        // paper-scale samples to estimate tightly.
+        c.add(
+            "rem-9 dominates 168–263",
+            "72% of replays",
+            format!("{:.0}%", low9 * 100.0),
+            low9 >= 0.5,
+        );
+        c.add(
+            "rem-2 dominates 384–687",
+            "96% of replays",
+            format!("{:.0}%", high2 * 100.0),
+            high2 >= 0.85,
+        );
+        let rate = self.replay_lens.len() as f64 / self.triggers.max(1) as f64;
+        c.add(
+            "identical-replay rate per connection",
+            "0.30% (2835/942457)",
+            format!("{:.2}%", rate * 100.0),
+            (0.0005..0.02).contains(&rate),
+        );
+        c
+    }
+}
+
+impl std::fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig 8 — replayed payload lengths ({} replays over {} trigger connections)\n",
+            self.replay_lens.len(),
+            self.triggers
+        )?;
+        let cdf = Cdf::new(self.replay_lens.iter().map(|&l| l as f64).collect());
+        if !cdf.is_empty() {
+            for (x, y) in cdf.curve(11) {
+                writeln!(f, "  length ≤ {:>4}: {:>5.1}%", x as u32, y * 100.0)?;
+            }
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.comparison().render())
+    }
+}
+
+/// Analyze probe records (identical replays only, like the paper's
+/// orange line). Lengths are deduplicated per stored payload
+/// (trigger id): one payload can be replayed up to 47 times, and
+/// occurrence-weighted shares are dominated by that variance at small
+/// scale.
+pub fn analyze(probes: &[ProbeRecord], triggers: usize) -> Fig8 {
+    let mut seen = std::collections::HashSet::new();
+    let replay_lens = probes
+        .iter()
+        .filter(|p| p.kind == ProbeKind::R1)
+        .filter(|p| p.trigger_id.map_or(true, |t| seen.insert(t)))
+        .map(|p| p.payload_len)
+        .collect();
+    Fig8 {
+        replay_lens,
+        triggers,
+    }
+}
+
+/// Run Exp 1.a and analyze.
+pub fn run(scale: Scale, seed: u64) -> Fig8 {
+    let cfg = SinkRunConfig {
+        exp: SinkExp::Exp1a,
+        connections: scale.pick(40_000, 400_000),
+        conn_interval: netsim::time::Duration::from_secs(1),
+        seed,
+    };
+    let res = sink_run(&cfg);
+    analyze(&res.probes, res.triggers.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stair_step_shape_holds() {
+        let fig = run(Scale::Quick, 11);
+        assert!(
+            fig.replay_lens.len() > 40,
+            "{} replays",
+            fig.replay_lens.len()
+        );
+        assert!(fig.comparison().all_hold(), "\n{fig}");
+    }
+}

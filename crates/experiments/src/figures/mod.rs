@@ -1,0 +1,23 @@
+//! One module per paper table/figure. Each exposes a `run` function
+//! returning a displayable, assertable result.
+
+pub mod ablation;
+pub mod battery;
+pub mod blocking;
+pub mod fep;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod inference;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

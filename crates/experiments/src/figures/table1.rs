@@ -1,0 +1,78 @@
+//! Table 1: the timeline of the paper's three experiment campaigns.
+//!
+//! Purely descriptive in the paper; here it doubles as the registry of
+//! the simulated campaigns and their virtual time spans, and the other
+//! modules pull their defaults from it.
+
+use crate::report::Table;
+use netsim::time::Duration;
+
+/// One campaign row.
+#[derive(Clone, Copy, Debug)]
+pub struct Campaign {
+    /// Campaign name as in Table 1.
+    pub name: &'static str,
+    /// The paper's wall-clock span.
+    pub paper_span: &'static str,
+    /// Virtual duration we simulate at `Scale::Paper`.
+    pub sim_span: Duration,
+    /// Section of the paper it supports.
+    pub section: &'static str,
+}
+
+/// The three campaigns of Table 1.
+pub const CAMPAIGNS: [Campaign; 3] = [
+    Campaign {
+        name: "Shadowsocks",
+        paper_span: "Sept 29, 2019 - Jan 21, 2020 (4 months)",
+        sim_span: Duration::from_hours(4 * 30 * 24),
+        section: "§3.1",
+    },
+    Campaign {
+        name: "Sink",
+        paper_span: "May 16 - 31, 2020 (2 weeks)",
+        sim_span: Duration::from_hours(14 * 24),
+        section: "§4.1",
+    },
+    Campaign {
+        name: "Brdgrd",
+        paper_span: "Nov 2 - 19, 2019 (403 hours)",
+        sim_span: Duration::from_hours(403),
+        section: "§7.1",
+    },
+];
+
+/// Render Table 1.
+pub fn render() -> String {
+    let mut t = Table::new(&["Experiment", "Paper time span", "Simulated span", "Section"]);
+    for c in CAMPAIGNS {
+        t.row(&[
+            c.name.into(),
+            c.paper_span.into(),
+            format!("{}", c.sim_span),
+            c.section.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_match_paper() {
+        assert_eq!(CAMPAIGNS[0].sim_span, Duration::from_hours(2880));
+        assert_eq!(CAMPAIGNS[1].sim_span, Duration::from_hours(336));
+        assert_eq!(CAMPAIGNS[2].sim_span, Duration::from_hours(403));
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let r = render();
+        assert!(r.contains("Shadowsocks"));
+        assert!(r.contains("Sink"));
+        assert!(r.contains("Brdgrd"));
+        assert!(r.contains("403"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 5: server reactions to identical (R1) and byte-changed
+//! (R2–R5) replays, by implementation and construction.
+//!
+//! Paper shape:
+//!
+//! | Implementation | Mode | Identical | Byte-changed |
+//! |---|---|---|---|
+//! | ss-libev 3.0.8–3.2.5 | Stream | R | R/T/F |
+//! | ss-libev 3.0.8–3.2.5 | AEAD | R | R |
+//! | ss-libev 3.3.1/3.3.3 | Stream | T | T/F |
+//! | ss-libev 3.3.1/3.3.3 | AEAD | T | T |
+//! | OutlineVPN | AEAD | D | T |
+
+use crate::report::Table;
+use crate::Scale;
+use probesim::matrix::replay_table;
+use probesim::Reaction;
+use shadowsocks::{Profile, ServerConfig};
+use sscrypto::method::Method;
+
+/// One row of the table.
+pub struct Row {
+    /// Implementation name.
+    pub implementation: &'static str,
+    /// Stream or AEAD.
+    pub mode: &'static str,
+    /// Reaction to an identical replay.
+    pub identical: Reaction,
+    /// Reactions to R2–R5.
+    pub changed: Vec<Reaction>,
+}
+
+/// The whole table.
+pub struct Table5 {
+    /// Rows in paper order.
+    pub rows: Vec<Row>,
+}
+
+fn letter(r: Reaction) -> &'static str {
+    match r {
+        Reaction::Rst => "R",
+        Reaction::Timeout => "T",
+        Reaction::FinAck => "F",
+        Reaction::Data => "D",
+        Reaction::ConnectFailed => "X",
+    }
+}
+
+impl std::fmt::Display for Table5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 5 — reactions to replays (R: reset, T: timeout, F: FIN/ACK, D: data)\n")?;
+        let mut t = Table::new(&["Implementation", "Mode", "Identical", "Byte-changed (R2-R5)"]);
+        for row in &self.rows {
+            let changed: Vec<&str> = row.changed.iter().map(|&r| letter(r)).collect();
+            t.row(&[
+                row.implementation.into(),
+                row.mode.into(),
+                letter(row.identical).into(),
+                changed.join("/"),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+/// Run the table.
+pub fn run(_scale: Scale, seed: u64) -> Table5 {
+    let cases: Vec<(&'static str, &'static str, Profile, Method)> = vec![
+        ("ss-libev v3.0.8-v3.2.5", "Stream", Profile::LIBEV_OLD, Method::Aes256Cfb),
+        ("ss-libev v3.0.8-v3.2.5", "AEAD", Profile::LIBEV_OLD, Method::Aes256Gcm),
+        ("ss-libev v3.3.1-v3.3.3", "Stream", Profile::LIBEV_NEW, Method::Aes256Cfb),
+        ("ss-libev v3.3.1-v3.3.3", "AEAD", Profile::LIBEV_NEW, Method::Aes256Gcm),
+        ("OutlineVPN v1.0.7-v1.0.8", "AEAD", Profile::OUTLINE_1_0_7, Method::ChaCha20IetfPoly1305),
+    ];
+    let rows = cases
+        .into_iter()
+        .map(|(implementation, mode, profile, method)| {
+            let config = ServerConfig::new(method, "t5-pw", profile);
+            let (identical, changed) = replay_table(&config, seed);
+            Row {
+                implementation,
+                mode,
+                identical,
+                changed,
+            }
+        })
+        .collect();
+    Table5 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table5() {
+        let t = run(Scale::Quick, 14);
+        let by_name = |imp: &str, mode: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.implementation == imp && r.mode == mode)
+                .unwrap()
+        };
+        assert_eq!(
+            by_name("ss-libev v3.0.8-v3.2.5", "Stream").identical,
+            Reaction::Rst
+        );
+        assert_eq!(
+            by_name("ss-libev v3.0.8-v3.2.5", "AEAD").identical,
+            Reaction::Rst
+        );
+        assert_eq!(
+            by_name("ss-libev v3.3.1-v3.3.3", "Stream").identical,
+            Reaction::Timeout
+        );
+        assert_eq!(
+            by_name("ss-libev v3.3.1-v3.3.3", "AEAD").identical,
+            Reaction::Timeout
+        );
+        assert_eq!(
+            by_name("OutlineVPN v1.0.7-v1.0.8", "AEAD").identical,
+            Reaction::Data,
+            "no replay filter → proxied"
+        );
+        // AEAD byte-changed on old libev is always RST.
+        assert!(by_name("ss-libev v3.0.8-v3.2.5", "AEAD")
+            .changed
+            .iter()
+            .all(|&r| r == Reaction::Rst));
+        // Outline byte-changed is always timeout.
+        assert!(by_name("OutlineVPN v1.0.7-v1.0.8", "AEAD")
+            .changed
+            .iter()
+            .all(|&r| r == Reaction::Timeout));
+    }
+}

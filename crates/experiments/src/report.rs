@@ -1,0 +1,139 @@
+//! Plain-text report rendering: aligned tables and paper-vs-measured
+//! rows, shared by every experiment binary.
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One paper-vs-measured comparison line.
+pub struct Comparison {
+    rows: Vec<(String, String, String, bool)>,
+}
+
+impl Default for Comparison {
+    fn default() -> Self {
+        Comparison::new()
+    }
+}
+
+impl Comparison {
+    /// Empty comparison.
+    pub fn new() -> Comparison {
+        Comparison { rows: Vec::new() }
+    }
+
+    /// Add a metric with its paper value, measured value, and whether
+    /// the shape holds.
+    pub fn add(
+        &mut self,
+        metric: &str,
+        paper: impl std::fmt::Display,
+        measured: impl std::fmt::Display,
+        holds: bool,
+    ) -> &mut Self {
+        self.rows
+            .push((metric.to_string(), paper.to_string(), measured.to_string(), holds));
+        self
+    }
+
+    /// True if every row holds.
+    pub fn all_hold(&self) -> bool {
+        self.rows.iter().all(|r| r.3)
+    }
+
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&["metric", "paper", "measured", "shape holds"]);
+        for (m, p, v, ok) in &self.rows {
+            t.row(&[
+                m.clone(),
+                p.clone(),
+                v.clone(),
+                if *ok { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["xxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_enforced() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn comparison_holds_logic() {
+        let mut c = Comparison::new();
+        c.add("x", 1, 2, true);
+        assert!(c.all_hold());
+        c.add("y", 3, 9, false);
+        assert!(!c.all_hold());
+        assert!(c.render().contains("NO"));
+    }
+}

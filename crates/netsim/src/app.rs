@@ -1,0 +1,181 @@
+//! The application interface: event callbacks plus a command queue.
+//!
+//! Apps never hold references into the simulator. Each callback receives
+//! a [`Ctx`] that records commands (send, close, connect, set timers…)
+//! which the event loop applies after the callback returns — the pattern
+//! that keeps a single-owner, deterministic core.
+
+use crate::conn::{ConnId, TcpTuning};
+use crate::packet::{Ipv4, SocketAddr};
+use crate::time::{Duration, SimTime};
+use rand::rngs::StdRng;
+
+/// Opaque application identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u32);
+
+/// Events delivered to an [`App`].
+#[derive(Clone, Debug)]
+pub enum AppEvent {
+    /// Server side: a handshake completed on a listening port.
+    ConnIncoming {
+        /// The new connection.
+        conn: ConnId,
+        /// The peer that connected.
+        peer: SocketAddr,
+        /// Local address the listener was bound to.
+        local: SocketAddr,
+    },
+    /// Client side: our `connect` completed.
+    Connected {
+        /// The connection.
+        conn: ConnId,
+    },
+    /// Client side: our `connect` failed.
+    ConnectFailed {
+        /// The connection that failed.
+        conn: ConnId,
+        /// True if refused (RST to our SYN); false if the SYN timed out.
+        refused: bool,
+    },
+    /// Payload arrived (one TCP segment's worth).
+    Data {
+        /// Connection.
+        conn: ConnId,
+        /// Segment payload.
+        data: Vec<u8>,
+    },
+    /// Peer sent FIN.
+    PeerFin {
+        /// Connection.
+        conn: ConnId,
+    },
+    /// Peer sent RST.
+    PeerRst {
+        /// Connection.
+        conn: ConnId,
+    },
+    /// A timer set through [`Ctx::set_timer`] fired.
+    Timer {
+        /// Token passed at registration.
+        token: u64,
+    },
+}
+
+/// A simulated application (server, client, driver, controller…).
+pub trait App {
+    /// Handle one event. Use `ctx` to issue commands.
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx);
+}
+
+/// Commands issued by apps, applied by the simulator after the callback.
+#[derive(Debug)]
+pub enum Command {
+    /// Send payload on a connection (segmented by the simulator).
+    Send(ConnId, Vec<u8>),
+    /// Close a connection with FIN.
+    Fin(ConnId),
+    /// Abort a connection with RST.
+    Rst(ConnId),
+    /// Open a new connection.
+    Connect {
+        /// Source host address (must be a registered host).
+        from: Ipv4,
+        /// Destination endpoint.
+        to: SocketAddr,
+        /// Per-connection tuning.
+        tuning: TcpTuning,
+        /// Pre-allocated id, returned by [`Ctx::connect`].
+        conn: ConnId,
+    },
+    /// Arrange a [`AppEvent::Timer`] callback.
+    SetTimer {
+        /// When to fire.
+        at: SimTime,
+        /// Token to echo back.
+        token: u64,
+    },
+}
+
+/// Per-callback context: the current time, a deterministic RNG, and the
+/// command queue.
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Simulator RNG (shared; draws are part of the deterministic
+    /// schedule).
+    pub rng: &'a mut StdRng,
+    pub(crate) app: AppId,
+    pub(crate) commands: &'a mut Vec<(AppId, Command)>,
+    pub(crate) next_conn_id: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Send `data` on `conn`.
+    pub fn send(&mut self, conn: ConnId, data: Vec<u8>) {
+        self.commands.push((self.app, Command::Send(conn, data)));
+    }
+
+    /// Close `conn` with a FIN.
+    pub fn fin(&mut self, conn: ConnId) {
+        self.commands.push((self.app, Command::Fin(conn)));
+    }
+
+    /// Abort `conn` with an RST.
+    pub fn rst(&mut self, conn: ConnId) {
+        self.commands.push((self.app, Command::Rst(conn)));
+    }
+
+    /// Open a connection from host `from` to `to`. The returned id is
+    /// valid immediately; events about it arrive later.
+    pub fn connect(&mut self, from: Ipv4, to: SocketAddr, tuning: TcpTuning) -> ConnId {
+        let conn = ConnId(*self.next_conn_id);
+        *self.next_conn_id += 1;
+        self.commands
+            .push((self.app, Command::Connect { from, to, tuning, conn }));
+        conn
+    }
+
+    /// Request a timer callback `after` from now, echoing `token`.
+    pub fn set_timer(&mut self, after: Duration, token: u64) {
+        self.commands.push((
+            self.app,
+            Command::SetTimer {
+                at: self.now + after,
+                token,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_queues_commands_and_allocates_conn_ids() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut commands = Vec::new();
+        let mut next = 7u64;
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            rng: &mut rng,
+            app: AppId(3),
+            commands: &mut commands,
+            next_conn_id: &mut next,
+        };
+        let c1 = ctx.connect(Ipv4::new(1, 1, 1, 1), (Ipv4::new(2, 2, 2, 2), 80), TcpTuning::default());
+        let c2 = ctx.connect(Ipv4::new(1, 1, 1, 1), (Ipv4::new(2, 2, 2, 2), 80), TcpTuning::default());
+        assert_eq!(c1, ConnId(7));
+        assert_eq!(c2, ConnId(8));
+        ctx.send(c1, vec![1, 2, 3]);
+        ctx.set_timer(Duration::from_secs(1), 99);
+        assert_eq!(commands.len(), 4);
+        assert!(matches!(commands[2].1, Command::Send(ConnId(7), _)));
+        assert!(matches!(
+            commands[3].1,
+            Command::SetTimer { token: 99, .. }
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! Connection identifiers, per-connection tuning, and the TCP-ish
+//! connection state machine record.
+
+use crate::app::AppId;
+use crate::host::TsClock;
+use crate::packet::SocketAddr;
+use serde::{Deserialize, Serialize};
+
+/// Opaque connection identifier, unique for the lifetime of a simulator.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ConnId(pub u64);
+
+/// Per-connection overrides of the initiating host's defaults. The GFW
+/// prober fleet uses these to stamp each probe with its controlling
+/// process's timestamp clock, a chosen source port, and the TTL the
+/// paper observed (§3.4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpTuning {
+    /// Fixed source port instead of the host's allocation policy.
+    pub src_port: Option<u16>,
+    /// Timestamp clock override (the shared prober-process clocks of
+    /// Fig 6).
+    pub ts_clock: Option<TsClock>,
+    /// TTL override as seen at the far end (probers arrive with 46–50).
+    pub ttl: Option<u8>,
+    /// Use random IP IDs regardless of host policy.
+    pub random_ip_id: bool,
+}
+
+/// Lifecycle of one simulated connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnState {
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// Handshake complete on the client side; server learns on the final
+    /// ACK.
+    Established,
+    /// One side sent FIN; awaiting the other.
+    HalfClosed {
+        /// True if it was the client that closed first — the signal the
+        /// prober-reaction taxonomy (§5) is built on.
+        by_client: bool,
+    },
+    /// Fully closed (both FINs, or an RST, or failure).
+    Closed,
+}
+
+/// Why a connection ended (recorded for diagnostics and reaction
+/// classification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Orderly FIN exchange.
+    Fin,
+    /// Reset by the given side (true = client).
+    Rst {
+        /// True if the client sent the RST.
+        by_client: bool,
+    },
+    /// Client's SYN went unanswered.
+    SynTimeout,
+    /// Connection refused (RST in response to SYN).
+    Refused,
+}
+
+/// Full record of a live connection inside the simulator.
+#[derive(Debug)]
+pub struct Connection {
+    /// Identifier.
+    pub id: ConnId,
+    /// Client (initiator) endpoint.
+    pub client: SocketAddr,
+    /// Server endpoint.
+    pub server: SocketAddr,
+    /// App owning the client side.
+    pub client_app: AppId,
+    /// App owning the server side (set when a listener accepts).
+    pub server_app: Option<AppId>,
+    /// Current state.
+    pub state: ConnState,
+    /// Client-side tuning.
+    pub tuning: TcpTuning,
+    /// Next client sequence number.
+    pub client_seq: u32,
+    /// Next server sequence number.
+    pub server_seq: u32,
+    /// Receive window currently imposed on the client (window shaping).
+    pub client_send_cap: Option<u16>,
+    /// Total client payload bytes that have arrived at the server, used
+    /// to decide when window shaping relaxes.
+    pub client_bytes_seen: usize,
+    /// Whether the client has sent any data yet (first-data-packet
+    /// detection for taps).
+    pub client_sent_data: bool,
+    /// Close reason, once closed.
+    pub close_reason: Option<CloseReason>,
+}
+
+impl Connection {
+    /// True once no further events can occur on this connection.
+    pub fn is_closed(&self) -> bool {
+        self.state == ConnState::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conn_id_ordering() {
+        assert!(ConnId(1) < ConnId(2));
+    }
+
+    #[test]
+    fn default_tuning_is_inert() {
+        let t = TcpTuning::default();
+        assert!(t.src_port.is_none());
+        assert!(t.ts_clock.is_none());
+        assert!(t.ttl.is_none());
+        assert!(!t.random_ip_id);
+    }
+}

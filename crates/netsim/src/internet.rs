@@ -1,0 +1,103 @@
+//! The "rest of the Internet" model.
+//!
+//! When a Shadowsocks server decrypts a random probe into a plausible
+//! target specification, it tries to connect to an effectively random
+//! address (§5.2.1). We cannot instantiate hosts for the whole IPv4
+//! space, so connections to unregistered addresses are resolved by this
+//! model: refused quickly, accepted, or black-holed until the SYN times
+//! out. The refuse/black-hole split is what divides the paper's
+//! FIN/ACK and TIMEOUT reactions for valid-address-type stream probes.
+
+use crate::packet::SocketAddr;
+use crate::time::Duration;
+use rand::Rng;
+
+/// Outcome of a connection attempt to an address the simulator doesn't
+/// host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RemoteOutcome {
+    /// RST after the given delay (port closed / host reachable).
+    Refused {
+        /// Time until the RST arrives back.
+        after: Duration,
+    },
+    /// No answer at all; the connecting side gives up at its SYN
+    /// timeout.
+    BlackHole,
+}
+
+/// Policy for unregistered destinations.
+#[derive(Clone, Copy, Debug)]
+pub struct InternetModel {
+    /// Probability that a random address refuses quickly (vs
+    /// black-holing). Random IPv4 space is mostly unresponsive, but
+    /// refusals are common enough that both reactions appear in Fig 10a.
+    pub p_refused: f64,
+    /// Delay before a refusal RST arrives.
+    pub refuse_delay: Duration,
+}
+
+impl Default for InternetModel {
+    fn default() -> Self {
+        InternetModel {
+            p_refused: 0.5,
+            refuse_delay: Duration::from_millis(120),
+        }
+    }
+}
+
+impl InternetModel {
+    /// Decide the fate of a connection to `addr`.
+    pub fn outcome(&self, _addr: SocketAddr, rng: &mut impl Rng) -> RemoteOutcome {
+        if rng.gen_bool(self.p_refused) {
+            RemoteOutcome::Refused {
+                after: self.refuse_delay,
+            }
+        } else {
+            RemoteOutcome::BlackHole
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Ipv4;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outcome_split_matches_probability() {
+        let model = InternetModel {
+            p_refused: 0.3,
+            refuse_delay: Duration::from_millis(50),
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10_000;
+        let refused = (0..n)
+            .filter(|_| {
+                matches!(
+                    model.outcome((Ipv4::new(8, 8, 8, 8), 443), &mut rng),
+                    RemoteOutcome::Refused { .. }
+                )
+            })
+            .count();
+        let frac = refused as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let always = InternetModel { p_refused: 1.0, ..Default::default() };
+        assert!(matches!(
+            always.outcome((Ipv4::new(1, 1, 1, 1), 1), &mut rng),
+            RemoteOutcome::Refused { .. }
+        ));
+        let never = InternetModel { p_refused: 0.0, ..Default::default() };
+        assert_eq!(
+            never.outcome((Ipv4::new(1, 1, 1, 1), 1), &mut rng),
+            RemoteOutcome::BlackHole
+        );
+    }
+}

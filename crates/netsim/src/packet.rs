@@ -1,0 +1,159 @@
+//! Packets as they appear on the simulated wire.
+//!
+//! Only the header fields the paper's analysis actually touches are
+//! modelled: addressing, TCP flags/seq numbers, the receive window
+//! (brdgrd, §7.1), IP TTL and ID (§3.4), and the TCP timestamp option
+//! (§3.4's prober-process side channel).
+
+use crate::conn::ConnId;
+use crate::time::SimTime;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// IPv4 address. A thin newtype over the four octets so we control
+/// formatting and serde without pulling in `std::net` parsing semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4(pub [u8; 4]);
+
+impl Ipv4 {
+    /// Construct from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4([a, b, c, d])
+    }
+
+    /// The /16 prefix, useful for coarse grouping.
+    pub fn prefix16(self) -> [u8; 2] {
+        [self.0[0], self.0[1]]
+    }
+}
+
+impl std::fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl std::fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<[u8; 4]> for Ipv4 {
+    fn from(o: [u8; 4]) -> Ipv4 {
+        Ipv4(o)
+    }
+}
+
+/// An (address, port) endpoint.
+pub type SocketAddr = (Ipv4, u16);
+
+/// TCP flag bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronize.
+    pub syn: bool,
+    /// Acknowledge.
+    pub ack: bool,
+    /// Push (set on data-carrying segments).
+    pub psh: bool,
+    /// Finish.
+    pub fin: bool,
+    /// Reset.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// SYN only (client handshake opener).
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, psh: false, fin: false, rst: false };
+    /// SYN-ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, psh: false, fin: false, rst: false };
+    /// Pure ACK.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, psh: false, fin: false, rst: false };
+    /// PSH-ACK (data).
+    pub const PSH_ACK: TcpFlags = TcpFlags { syn: false, ack: true, psh: true, fin: false, rst: false };
+    /// FIN-ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, psh: false, fin: true, rst: false };
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, psh: false, fin: false, rst: true };
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.psh {
+            parts.push("PSH");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        write!(f, "{}", parts.join("/"))
+    }
+}
+
+/// A TCP/IPv4 packet on the simulated wire.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Time the packet was put on the wire.
+    pub sent_at: SimTime,
+    /// Source endpoint.
+    pub src: SocketAddr,
+    /// Destination endpoint.
+    pub dst: SocketAddr,
+    /// TCP flags.
+    pub flags: TcpFlags,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (meaningful when `flags.ack`).
+    pub ack: u32,
+    /// Advertised receive window.
+    pub window: u16,
+    /// IP time-to-live as observed at the capture point.
+    pub ttl: u8,
+    /// IP identification field.
+    pub ip_id: u16,
+    /// TCP timestamp option value (TSval); RST segments carry none.
+    pub tsval: Option<u32>,
+    /// Application payload.
+    pub payload: Bytes,
+    /// Simulator connection this packet belongs to.
+    pub conn: ConnId,
+}
+
+impl Packet {
+    /// True if this packet carries application data.
+    pub fn has_payload(&self) -> bool {
+        !self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_display() {
+        assert_eq!(Ipv4::new(175, 42, 1, 21).to_string(), "175.42.1.21");
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN/ACK");
+        assert_eq!(TcpFlags::PSH_ACK.to_string(), "PSH/ACK");
+        assert_eq!(TcpFlags::RST.to_string(), "RST");
+    }
+
+    #[test]
+    fn prefix16() {
+        assert_eq!(Ipv4::new(202, 108, 181, 70).prefix16(), [202, 108]);
+    }
+}

@@ -1,0 +1,899 @@
+//! The discrete-event simulator core.
+//!
+//! One `Simulator` owns the hosts, connections, applications, taps,
+//! captures and the event queue. Determinism rules:
+//!
+//! * all randomness flows through one seeded `StdRng`;
+//! * the event queue orders by `(time, insertion sequence)`, so ties are
+//!   resolved by scheduling order, never by hash iteration;
+//! * apps communicate only through the command queue, applied in order.
+//!
+//! ## Simplifications relative to real TCP
+//!
+//! No loss, retransmission, or congestion control: the paper's
+//! observables are flag sequences, header fields and payloads, none of
+//! which depend on those mechanisms. Receive-window shaping (brdgrd)
+//! is modelled as a per-segment size cap on the client's sends while the
+//! shaper is active, with a small inter-segment spacing, rather than a
+//! full sliding window.
+
+use crate::app::{App, AppEvent, AppId, Command, Ctx};
+use crate::capture::Capture;
+use crate::conn::{CloseReason, ConnId, ConnState, Connection, TcpTuning};
+use crate::host::{Host, HostConfig, Region};
+use crate::internet::{InternetModel, RemoteOutcome};
+use crate::packet::{Ipv4, Packet, SocketAddr, TcpFlags};
+use crate::tap::{Tap, TapCtx, Verdict};
+use crate::time::{Duration, SimTime};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::rc::Rc;
+
+/// Global simulator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// One-way latency between hosts in the same region.
+    pub intra_region_latency: Duration,
+    /// One-way latency across the China border.
+    pub cross_border_latency: Duration,
+    /// Maximum TCP segment size.
+    pub mss: usize,
+    /// Fate of connections to unregistered addresses.
+    pub internet: InternetModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            intra_region_latency: Duration::from_millis(2),
+            cross_border_latency: Duration::from_millis(50),
+            mss: 1448,
+            internet: InternetModel::default(),
+        }
+    }
+}
+
+/// Handle to a registered capture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaptureId(usize);
+
+enum Event {
+    Deliver(Packet),
+    Timer { app: AppId, token: u64 },
+    OpenConn { idx: usize },
+    SynTimeout { conn: ConnId },
+    RemoteRefused { conn: ConnId },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Aggregate counters, cheap enough to keep always-on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Connections ever created.
+    pub connections: u64,
+    /// Packets put on the wire.
+    pub packets_sent: u64,
+    /// Packets dropped by taps.
+    pub packets_dropped: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+struct PendingConnect {
+    app: AppId,
+    from: Ipv4,
+    to: SocketAddr,
+    tuning: TcpTuning,
+    conn: ConnId,
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    config: SimConfig,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    next_conn_id: u64,
+    next_host_octet: u32,
+    hosts: HashMap<Ipv4, Host>,
+    listeners: HashMap<SocketAddr, AppId>,
+    conns: HashMap<ConnId, Connection>,
+    apps: Vec<Option<Box<dyn App>>>,
+    taps: Vec<Box<dyn Tap>>,
+    captures: Vec<Capture>,
+    pending_connects: Vec<Option<PendingConnect>>,
+    server_notified: HashSet<ConnId>,
+    rng: StdRng,
+    /// Aggregate counters.
+    pub stats: SimStats,
+}
+
+impl Simulator {
+    /// Create a simulator with the given config and RNG seed.
+    pub fn new(config: SimConfig, seed: u64) -> Simulator {
+        Simulator {
+            config,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            next_conn_id: 0,
+            next_host_octet: 0,
+            hosts: HashMap::new(),
+            listeners: HashMap::new(),
+            conns: HashMap::new(),
+            apps: Vec::new(),
+            taps: Vec::new(),
+            captures: Vec::new(),
+            pending_connects: Vec::new(),
+            server_notified: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The simulator's RNG (draws become part of the schedule).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Number of currently live (not fully closed) connections.
+    pub fn live_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Register a host with an auto-assigned address (China hosts in
+    /// 110.0.0.0/8, outside hosts in 172.0.0.0/8).
+    pub fn add_host(&mut self, config: HostConfig) -> Ipv4 {
+        let n = self.next_host_octet;
+        self.next_host_octet += 1;
+        let base = match config.region {
+            Region::China => 110,
+            Region::Outside => 172,
+        };
+        let addr = Ipv4::new(base, (n >> 16) as u8, (n >> 8) as u8, n as u8);
+        self.add_host_with_addr(addr, config);
+        addr
+    }
+
+    /// Register a host at a specific address (used by the prober fleet,
+    /// whose addresses carry AS semantics).
+    pub fn add_host_with_addr(&mut self, addr: Ipv4, config: HostConfig) {
+        let host = Host::new(addr, config, &mut self.rng);
+        self.hosts.insert(addr, host);
+    }
+
+    /// True if `addr` is a registered host.
+    pub fn has_host(&self, addr: Ipv4) -> bool {
+        self.hosts.contains_key(&addr)
+    }
+
+    /// Enable or disable receive-window shaping on a host at runtime —
+    /// how the brdgrd experiment (§7.1, Fig 11) toggles the shaper on a
+    /// live server. Affects connections whose SYN-ACK is sent after the
+    /// change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a registered host.
+    pub fn set_window_shaper(&mut self, addr: Ipv4, shaper: Option<crate::host::WindowShaper>) {
+        self.hosts
+            .get_mut(&addr)
+            .expect("set_window_shaper: unknown host")
+            .config
+            .window_shaper = shaper;
+    }
+
+    /// Register an application.
+    pub fn add_app(&mut self, app: Box<dyn App>) -> AppId {
+        self.apps.push(Some(app));
+        AppId((self.apps.len() - 1) as u32)
+    }
+
+    /// Bind `app` as the listener on `addr`.
+    pub fn listen(&mut self, addr: SocketAddr, app: AppId) {
+        self.listeners.insert(addr, app);
+    }
+
+    /// Stop listening on `addr`.
+    pub fn unlisten(&mut self, addr: SocketAddr) {
+        self.listeners.remove(&addr);
+    }
+
+    /// Register an on-path tap (sees all border-crossing packets).
+    pub fn add_tap(&mut self, tap: Box<dyn Tap>) {
+        self.taps.push(tap);
+    }
+
+    /// Register a shared tap; the returned handle can be inspected while
+    /// the simulator runs.
+    pub fn add_shared_tap<T: Tap + 'static>(&mut self, tap: T) -> Rc<RefCell<T>> {
+        let shared = Rc::new(RefCell::new(tap));
+        self.taps.push(Box::new(SharedTap(shared.clone())));
+        shared
+    }
+
+    /// Register a capture; observes every packet at send time.
+    pub fn add_capture(&mut self, cap: Capture) -> CaptureId {
+        self.captures.push(cap);
+        CaptureId(self.captures.len() - 1)
+    }
+
+    /// Read a capture.
+    pub fn capture(&self, id: CaptureId) -> &Capture {
+        &self.captures[id.0]
+    }
+
+    /// Mutable capture access (e.g. to clear between experiment phases).
+    pub fn capture_mut(&mut self, id: CaptureId) -> &mut Capture {
+        &mut self.captures[id.0]
+    }
+
+    /// Schedule a timer for `app` at absolute time `at`.
+    pub fn set_timer_at(&mut self, at: SimTime, app: AppId, token: u64) {
+        let at = at.max(self.now);
+        self.push(at, Event::Timer { app, token });
+    }
+
+    /// Open a connection at time `at` (clamped to ≥ now) from host
+    /// `from` to `to`, owned by `app`.
+    pub fn connect_at(
+        &mut self,
+        at: SimTime,
+        app: AppId,
+        from: Ipv4,
+        to: SocketAddr,
+        tuning: TcpTuning,
+    ) -> ConnId {
+        let conn = ConnId(self.next_conn_id);
+        self.next_conn_id += 1;
+        let at = at.max(self.now);
+        let idx = self.pending_connects.len();
+        self.pending_connects.push(Some(PendingConnect {
+            app,
+            from,
+            to,
+            tuning,
+            conn,
+        }));
+        self.push(at, Event::OpenConn { idx });
+        conn
+    }
+
+    /// Run until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run while events exist and are scheduled at or before `until`,
+    /// then advance the clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Process one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(sched)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(sched.at >= self.now, "time went backwards");
+        self.now = sched.at;
+        self.stats.events += 1;
+        match sched.ev {
+            Event::Deliver(pkt) => self.handle_deliver(pkt),
+            Event::Timer { app, token } => self.dispatch(app, AppEvent::Timer { token }),
+            Event::OpenConn { idx } => {
+                if let Some(p) = self.pending_connects[idx].take() {
+                    self.open_connection(p.app, p.from, p.to, p.tuning, p.conn);
+                }
+            }
+            Event::SynTimeout { conn } => self.handle_syn_timeout(conn),
+            Event::RemoteRefused { conn } => self.handle_remote_refused(conn),
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, at: SimTime, ev: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+    }
+
+    fn region_of(&self, a: Ipv4) -> Option<Region> {
+        self.hosts.get(&a).map(|h| h.config.region)
+    }
+
+    fn latency(&self, a: Ipv4, b: Ipv4) -> Duration {
+        match (self.region_of(a), self.region_of(b)) {
+            (Some(x), Some(y)) if x != y => self.config.cross_border_latency,
+            _ => self.config.intra_region_latency,
+        }
+    }
+
+    fn crosses_border(&self, a: Ipv4, b: Ipv4) -> bool {
+        matches!(
+            (self.region_of(a), self.region_of(b)),
+            (Some(x), Some(y)) if x != y
+        )
+    }
+
+    /// Build and transmit one packet on `conn`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        conn: ConnId,
+        src: SocketAddr,
+        dst: SocketAddr,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        window: u16,
+        payload: Bytes,
+        extra_delay: Duration,
+    ) {
+        let (tuning, is_client_side) = match self.conns.get(&conn) {
+            Some(c) => (c.tuning, c.client == src),
+            None => (TcpTuning::default(), false),
+        };
+        let (ttl, ip_id, tsval) = if self.hosts.contains_key(&src.0) {
+            let use_random_id = tuning.random_ip_id && is_client_side;
+            let ip_id = if use_random_id {
+                self.rng.gen()
+            } else {
+                let host = self.hosts.get_mut(&src.0).unwrap();
+                host.next_ip_id(&mut self.rng)
+            };
+            let host = &self.hosts[&src.0];
+            let ttl = if is_client_side {
+                tuning.ttl.unwrap_or(host.config.initial_ttl)
+            } else {
+                host.config.initial_ttl
+            };
+            let clock = if is_client_side {
+                tuning.ts_clock.unwrap_or(host.ts_clock)
+            } else {
+                host.ts_clock
+            };
+            // RSTs carry no timestamp option (RFC 7323; the paper's
+            // TSval fingerprinting relies on non-RST segments).
+            let tsval = if flags.rst { None } else { Some(clock.tsval(self.now)) };
+            (ttl, ip_id, tsval)
+        } else {
+            let id = self.rng.gen();
+            let ts = if flags.rst { None } else { Some(self.rng.gen()) };
+            (64, id, ts)
+        };
+
+        let pkt = Packet {
+            sent_at: self.now,
+            src,
+            dst,
+            flags,
+            seq,
+            ack,
+            window,
+            ttl,
+            ip_id,
+            tsval,
+            payload,
+            conn,
+        };
+
+        // Captures see everything at send time.
+        for cap in &mut self.captures {
+            cap.observe(&pkt);
+        }
+        self.stats.packets_sent += 1;
+
+        // Taps only see border-crossing packets.
+        if self.crosses_border(src.0, dst.0) {
+            let mut tap_ctx = TapCtx::new(self.now);
+            let mut dropped = false;
+            for tap in &mut self.taps {
+                if tap.on_packet(&pkt, &mut tap_ctx) == Verdict::Drop {
+                    dropped = true;
+                    break;
+                }
+            }
+            for (app, at, token) in tap_ctx.take_wakeups() {
+                self.push(at, Event::Timer { app, token });
+            }
+            if dropped {
+                self.stats.packets_dropped += 1;
+                return;
+            }
+        }
+
+        let at = self.now + self.latency(src.0, dst.0) + extra_delay;
+        self.push(at, Event::Deliver(pkt));
+    }
+
+    fn dispatch(&mut self, app: AppId, ev: AppEvent) {
+        let idx = app.0 as usize;
+        let Some(slot) = self.apps.get_mut(idx) else {
+            return;
+        };
+        let Some(mut a) = slot.take() else { return };
+        let mut commands: Vec<(AppId, Command)> = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                rng: &mut self.rng,
+                app,
+                commands: &mut commands,
+                next_conn_id: &mut self.next_conn_id,
+            };
+            a.on_event(ev, &mut ctx);
+        }
+        self.apps[idx] = Some(a);
+        for (owner, cmd) in commands {
+            self.apply(owner, cmd);
+        }
+    }
+
+    fn apply(&mut self, owner: AppId, cmd: Command) {
+        match cmd {
+            Command::Send(conn, data) => self.do_send(owner, conn, data),
+            Command::Fin(conn) => self.do_fin(owner, conn),
+            Command::Rst(conn) => self.do_rst(owner, conn),
+            Command::Connect { from, to, tuning, conn } => {
+                self.open_connection(owner, from, to, tuning, conn);
+            }
+            Command::SetTimer { at, token } => {
+                let at = at.max(self.now);
+                self.push(at, Event::Timer { app: owner, token });
+            }
+        }
+    }
+
+    /// True if `owner` acts as the server side of `conn`.
+    fn is_server_side(c: &Connection, owner: AppId) -> bool {
+        c.server_app == Some(owner)
+    }
+
+    fn do_send(&mut self, owner: AppId, conn: ConnId, data: Vec<u8>) {
+        let Some(c) = self.conns.get(&conn) else { return };
+        if c.is_closed() || data.is_empty() {
+            return;
+        }
+        let from_server = Self::is_server_side(c, owner);
+        let (src, dst) = if from_server {
+            (c.server, c.client)
+        } else {
+            (c.client, c.server)
+        };
+        // Segment size: MSS, further capped for a shaped client.
+        let cap = if from_server {
+            self.config.mss
+        } else {
+            match c.client_send_cap {
+                Some(w) => (w as usize).clamp(1, self.config.mss),
+                None => self.config.mss,
+            }
+        };
+        let mut seq = if from_server { c.server_seq } else { c.client_seq };
+        let ack = if from_server { c.client_seq } else { c.server_seq };
+        let total = data.len();
+        let mut offset = 0usize;
+        let mut i = 0u64;
+        while offset < total {
+            let take = cap.min(total - offset);
+            let chunk = Bytes::copy_from_slice(&data[offset..offset + take]);
+            // Small spacing between segments stands in for ACK pacing.
+            let spacing = Duration::from_micros(10).mul(i);
+            self.emit(
+                conn,
+                src,
+                dst,
+                TcpFlags::PSH_ACK,
+                seq,
+                ack,
+                65535,
+                chunk,
+                spacing,
+            );
+            seq = seq.wrapping_add(take as u32);
+            offset += take;
+            i += 1;
+        }
+        if let Some(c) = self.conns.get_mut(&conn) {
+            if from_server {
+                c.server_seq = seq;
+            } else {
+                c.client_seq = seq;
+            }
+        }
+    }
+
+    fn do_fin(&mut self, owner: AppId, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(&conn) else { return };
+        if c.is_closed() {
+            return;
+        }
+        let from_server = Self::is_server_side(c, owner);
+        let (src, dst) = if from_server {
+            (c.server, c.client)
+        } else {
+            (c.client, c.server)
+        };
+        let (seq, ack) = if from_server {
+            (c.server_seq, c.client_seq)
+        } else {
+            (c.client_seq, c.server_seq)
+        };
+        if from_server {
+            c.server_seq = c.server_seq.wrapping_add(1);
+        } else {
+            c.client_seq = c.client_seq.wrapping_add(1);
+        }
+        // Local state: leaving it to the FIN delivery keeps one source of
+        // truth; the sender's side is implicitly half-closed.
+        self.emit(
+            conn,
+            src,
+            dst,
+            TcpFlags::FIN_ACK,
+            seq,
+            ack,
+            65535,
+            Bytes::new(),
+            Duration::ZERO,
+        );
+    }
+
+    fn do_rst(&mut self, owner: AppId, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(&conn) else { return };
+        if c.is_closed() {
+            return;
+        }
+        let from_server = Self::is_server_side(c, owner);
+        let (src, dst) = if from_server {
+            (c.server, c.client)
+        } else {
+            (c.client, c.server)
+        };
+        let seq = if from_server { c.server_seq } else { c.client_seq };
+        self.emit(
+            conn,
+            src,
+            dst,
+            TcpFlags::RST,
+            seq,
+            0,
+            0,
+            Bytes::new(),
+            Duration::ZERO,
+        );
+    }
+
+    fn open_connection(
+        &mut self,
+        owner: AppId,
+        from: Ipv4,
+        to: SocketAddr,
+        tuning: TcpTuning,
+        conn: ConnId,
+    ) {
+        self.stats.connections += 1;
+        let src_port = tuning.src_port.unwrap_or_else(|| {
+            let policy = self
+                .hosts
+                .get(&from)
+                .map(|h| h.config.port_policy)
+                .unwrap_or(crate::host::PortPolicy::LinuxEphemeral);
+            policy.draw(&mut self.rng)
+        });
+        let client = (from, src_port);
+        let isn: u32 = self.rng.gen();
+        let server_isn: u32 = self.rng.gen();
+        let c = Connection {
+            id: conn,
+            client,
+            server: to,
+            client_app: owner,
+            server_app: None,
+            state: ConnState::SynSent,
+            tuning,
+            client_seq: isn.wrapping_add(1),
+            server_seq: server_isn,
+            client_send_cap: None,
+            client_bytes_seen: 0,
+            client_sent_data: false,
+            close_reason: None,
+        };
+        self.conns.insert(conn, c);
+
+        self.emit(
+            conn,
+            client,
+            to,
+            TcpFlags::SYN,
+            isn,
+            0,
+            65535,
+            Bytes::new(),
+            Duration::ZERO,
+        );
+
+        let syn_timeout = self
+            .hosts
+            .get(&from)
+            .map(|h| h.config.syn_timeout)
+            .unwrap_or(Duration::from_secs(20));
+        if self.hosts.contains_key(&to.0) {
+            self.push(self.now + syn_timeout, Event::SynTimeout { conn });
+        } else {
+            // Unregistered destination: the Internet model decides.
+            match self.config.internet.outcome(to, &mut self.rng) {
+                RemoteOutcome::Refused { after } => {
+                    self.push(self.now + after, Event::RemoteRefused { conn });
+                }
+                RemoteOutcome::BlackHole => {
+                    self.push(self.now + syn_timeout, Event::SynTimeout { conn });
+                }
+            }
+        }
+    }
+
+    fn handle_deliver(&mut self, pkt: Packet) {
+        let conn = pkt.conn;
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let to_server = pkt.dst == c.server && pkt.src == c.client;
+
+        if pkt.flags.rst {
+            let was_syn_sent = c.state == ConnState::SynSent;
+            c.state = ConnState::Closed;
+            c.close_reason = Some(CloseReason::Rst { by_client: !to_server });
+            let (client_app, server_app) = (c.client_app, c.server_app);
+            self.conns.remove(&conn);
+            self.server_notified.remove(&conn);
+            if to_server {
+                if let Some(sa) = server_app {
+                    self.dispatch(sa, AppEvent::PeerRst { conn });
+                }
+            } else if was_syn_sent {
+                self.dispatch(client_app, AppEvent::ConnectFailed { conn, refused: true });
+            } else {
+                self.dispatch(client_app, AppEvent::PeerRst { conn });
+            }
+            return;
+        }
+
+        if pkt.flags.syn && !pkt.flags.ack {
+            self.handle_syn(conn, pkt);
+            return;
+        }
+
+        if pkt.flags.syn && pkt.flags.ack {
+            // SYN-ACK at the client: established.
+            if c.state == ConnState::SynSent {
+                c.state = ConnState::Established;
+                if pkt.window != 65535 {
+                    c.client_send_cap = Some(pkt.window.max(1));
+                }
+                let (client, server, capp) = (c.client, c.server, c.client_app);
+                let (cseq, sack) = (c.client_seq, c.server_seq);
+                self.emit(
+                    conn,
+                    client,
+                    server,
+                    TcpFlags::ACK,
+                    cseq,
+                    sack,
+                    65535,
+                    Bytes::new(),
+                    Duration::ZERO,
+                );
+                self.dispatch(capp, AppEvent::Connected { conn });
+            }
+            return;
+        }
+
+        if pkt.flags.fin {
+            let by_client = to_server;
+            let mut fully_closed = false;
+            match c.state {
+                ConnState::HalfClosed { by_client: first } if first != by_client => {
+                    c.state = ConnState::Closed;
+                    c.close_reason = Some(CloseReason::Fin);
+                    fully_closed = true;
+                }
+                ConnState::Closed => fully_closed = true,
+                _ => {
+                    c.state = ConnState::HalfClosed { by_client };
+                }
+            }
+            let target = if to_server { c.server_app } else { Some(c.client_app) };
+            if fully_closed {
+                self.conns.remove(&conn);
+                self.server_notified.remove(&conn);
+            }
+            if let Some(app) = target {
+                self.dispatch(app, AppEvent::PeerFin { conn });
+            }
+            return;
+        }
+
+        if pkt.has_payload() {
+            if to_server {
+                c.client_bytes_seen += pkt.payload.len();
+                c.client_sent_data = true;
+                // Relax window shaping once enough client bytes arrived.
+                if let Some(shaper) = self
+                    .hosts
+                    .get(&pkt.dst.0)
+                    .and_then(|h| h.config.window_shaper)
+                {
+                    if c.client_bytes_seen >= shaper.restore_after_bytes {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.client_send_cap = None;
+                        }
+                    }
+                }
+            }
+            let c = self.conns.get(&conn).unwrap();
+            let target = if to_server { c.server_app } else { Some(c.client_app) };
+            let (peer, local) = if to_server {
+                (c.client, c.server)
+            } else {
+                (c.server, c.client)
+            };
+            if let Some(app) = target {
+                if to_server && self.server_notified.insert(conn) {
+                    self.dispatch(app, AppEvent::ConnIncoming { conn, peer, local });
+                }
+                self.dispatch(app, AppEvent::Data { conn, data: pkt.payload.to_vec() });
+            }
+            return;
+        }
+
+        // Pure ACK completing the handshake: tell the listener app.
+        if pkt.flags.ack && to_server {
+            if let Some(app) = c.server_app {
+                let (peer, local) = (c.client, c.server);
+                if self.server_notified.insert(conn) {
+                    self.dispatch(app, AppEvent::ConnIncoming { conn, peer, local });
+                }
+            }
+        }
+    }
+
+    fn handle_syn(&mut self, conn: ConnId, pkt: Packet) {
+        if !self.hosts.contains_key(&pkt.dst.0) {
+            // Unregistered destination: fate already decided by the
+            // Internet model at connect time; the SYN just disappears.
+            return;
+        }
+        let listener = self.listeners.get(&pkt.dst).copied();
+        match listener {
+            Some(app) => {
+                // Window shaping decided by the server host config.
+                let window = match self
+                    .hosts
+                    .get(&pkt.dst.0)
+                    .and_then(|h| h.config.window_shaper)
+                {
+                    Some(shaper) => {
+                        let (lo, hi) = shaper.window_range;
+                        self.rng.gen_range(lo..=hi)
+                    }
+                    None => 65535,
+                };
+                let Some(c) = self.conns.get_mut(&conn) else { return };
+                c.server_app = Some(app);
+                if window != 65535 {
+                    c.client_send_cap = Some(window.max(1));
+                }
+                let (server, client) = (c.server, c.client);
+                let (sseq, cack) = (c.server_seq, c.client_seq);
+                c.server_seq = c.server_seq.wrapping_add(1);
+                self.emit(
+                    conn,
+                    server,
+                    client,
+                    TcpFlags::SYN_ACK,
+                    sseq,
+                    cack,
+                    window,
+                    Bytes::new(),
+                    Duration::ZERO,
+                );
+            }
+            None => {
+                // Connection refused: host exists but nothing listens.
+                let Some(c) = self.conns.get(&conn) else { return };
+                let (server, client) = (c.server, c.client);
+                let cack = c.client_seq;
+                self.emit(
+                    conn,
+                    server,
+                    client,
+                    TcpFlags::RST,
+                    0,
+                    cack,
+                    0,
+                    Bytes::new(),
+                    Duration::ZERO,
+                );
+            }
+        }
+    }
+
+    fn handle_syn_timeout(&mut self, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(&conn) else { return };
+        if c.state == ConnState::SynSent {
+            c.state = ConnState::Closed;
+            c.close_reason = Some(CloseReason::SynTimeout);
+            let app = c.client_app;
+            self.conns.remove(&conn);
+            self.server_notified.remove(&conn);
+            self.dispatch(app, AppEvent::ConnectFailed { conn, refused: false });
+        }
+    }
+
+    fn handle_remote_refused(&mut self, conn: ConnId) {
+        let Some(c) = self.conns.get_mut(&conn) else { return };
+        if c.state == ConnState::SynSent {
+            c.state = ConnState::Closed;
+            c.close_reason = Some(CloseReason::Refused);
+            let app = c.client_app;
+            self.conns.remove(&conn);
+            self.dispatch(app, AppEvent::ConnectFailed { conn, refused: true });
+        }
+    }
+}
+
+struct SharedTap<T: Tap>(Rc<RefCell<T>>);
+
+impl<T: Tap> Tap for SharedTap<T> {
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut TapCtx) -> Verdict {
+        self.0.borrow_mut().on_packet(pkt, ctx)
+    }
+}

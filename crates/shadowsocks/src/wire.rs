@@ -1,0 +1,437 @@
+//! Wire framing for both Shadowsocks constructions (§2 of the paper).
+//!
+//! * Stream: `[IV][encrypted bytes...]` — one long ciphertext per
+//!   direction.
+//! * AEAD: `[salt]` then length-prefixed chunks, each
+//!   `[2-byte encrypted length][16-byte length tag][encrypted payload]
+//!   [16-byte payload tag]`, with a per-direction HKDF-SHA1 subkey and a
+//!   little-endian incrementing 12-byte nonce.
+
+use sscrypto::aead::{Aead, TAG_LEN};
+use sscrypto::cfb::Direction;
+use sscrypto::hkdf::ss_subkey;
+use sscrypto::method::{Kind, Method, StreamCipher};
+use sscrypto::AuthError;
+
+/// Maximum plaintext length of one AEAD chunk (0x3FFF per the spec).
+pub const MAX_CHUNK: usize = 0x3FFF;
+
+// ---------------------------------------------------------------------
+// Stream construction
+// ---------------------------------------------------------------------
+
+/// Encrypting half of a stream-cipher session (one direction).
+pub struct StreamEncryptor {
+    cipher: Box<dyn StreamCipher>,
+    iv: Vec<u8>,
+    iv_sent: bool,
+}
+
+impl StreamEncryptor {
+    /// Start a session with the given per-stream IV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method is not a stream method or lengths are wrong.
+    pub fn new(method: Method, master_key: &[u8], iv: Vec<u8>) -> StreamEncryptor {
+        assert_eq!(method.kind(), Kind::Stream);
+        let cipher = method.new_stream(master_key, &iv, Direction::Encrypt);
+        StreamEncryptor {
+            cipher,
+            iv,
+            iv_sent: false,
+        }
+    }
+
+    /// Encrypt `plain`, prepending the IV on the first call.
+    pub fn encrypt(&mut self, plain: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plain.len() + self.iv.len());
+        if !self.iv_sent {
+            out.extend_from_slice(&self.iv);
+            self.iv_sent = true;
+        }
+        let mut body = plain.to_vec();
+        self.cipher.apply(&mut body);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Decrypting half of a stream-cipher session (one direction).
+///
+/// Buffers until the IV is complete, then decrypts incrementally. This
+/// mirrors how real servers consume the stream, and it is the state
+/// machine whose "waiting for IV" phase produces the TIMEOUT column for
+/// short probes in Fig 10a.
+pub struct StreamDecryptor {
+    method: Method,
+    master_key: Vec<u8>,
+    iv_buf: Vec<u8>,
+    cipher: Option<Box<dyn StreamCipher>>,
+}
+
+impl StreamDecryptor {
+    /// Start a decryption session; the IV arrives with the data.
+    pub fn new(method: Method, master_key: &[u8]) -> StreamDecryptor {
+        assert_eq!(method.kind(), Kind::Stream);
+        StreamDecryptor {
+            method,
+            master_key: master_key.to_vec(),
+            iv_buf: Vec::new(),
+            cipher: None,
+        }
+    }
+
+    /// True once the full IV has been received.
+    pub fn iv_complete(&self) -> bool {
+        self.cipher.is_some()
+    }
+
+    /// The received IV (only meaningful once [`Self::iv_complete`]).
+    pub fn iv(&self) -> &[u8] {
+        &self.iv_buf
+    }
+
+    /// Feed ciphertext; returns any newly decrypted plaintext.
+    pub fn decrypt(&mut self, mut data: &[u8]) -> Vec<u8> {
+        let iv_len = self.method.iv_len();
+        if self.cipher.is_none() {
+            let need = iv_len - self.iv_buf.len();
+            let take = need.min(data.len());
+            self.iv_buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.iv_buf.len() == iv_len {
+                self.cipher = Some(self.method.new_stream(
+                    &self.master_key,
+                    &self.iv_buf,
+                    Direction::Decrypt,
+                ));
+            }
+        }
+        match &mut self.cipher {
+            Some(c) if !data.is_empty() => {
+                let mut out = data.to_vec();
+                c.apply(&mut out);
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AEAD construction
+// ---------------------------------------------------------------------
+
+fn next_nonce(nonce: &mut [u8]) {
+    // Little-endian increment, per the Shadowsocks AEAD spec.
+    for b in nonce.iter_mut() {
+        *b = b.wrapping_add(1);
+        if *b != 0 {
+            break;
+        }
+    }
+}
+
+/// Encrypting half of an AEAD session (one direction).
+pub struct AeadEncryptor {
+    aead: Box<dyn Aead>,
+    salt: Vec<u8>,
+    salt_sent: bool,
+    nonce: Vec<u8>,
+}
+
+impl AeadEncryptor {
+    /// Start a session: derives the subkey from `master_key` and `salt`.
+    pub fn new(method: Method, master_key: &[u8], salt: Vec<u8>) -> AeadEncryptor {
+        assert_eq!(method.kind(), Kind::Aead);
+        assert_eq!(salt.len(), method.iv_len(), "bad salt length");
+        let subkey = ss_subkey(master_key, &salt);
+        let aead = method.new_aead(&subkey);
+        let nonce = vec![0u8; aead.nonce_len()];
+        AeadEncryptor {
+            aead,
+            salt,
+            salt_sent: false,
+            nonce,
+        }
+    }
+
+    /// Seal one chunk (`plain.len() <= MAX_CHUNK`), prepending the salt
+    /// on the first call.
+    pub fn seal_chunk(&mut self, plain: &[u8]) -> Vec<u8> {
+        assert!(plain.len() <= MAX_CHUNK, "chunk too large");
+        let mut out = Vec::with_capacity(self.salt.len() + 2 + TAG_LEN * 2 + plain.len());
+        if !self.salt_sent {
+            out.extend_from_slice(&self.salt);
+            self.salt_sent = true;
+        }
+        // Length chunk.
+        let mut len_bytes = (plain.len() as u16).to_be_bytes().to_vec();
+        let tag = self.aead.seal(&self.nonce, &[], &mut len_bytes);
+        next_nonce(&mut self.nonce);
+        out.extend_from_slice(&len_bytes);
+        out.extend_from_slice(&tag);
+        // Payload chunk.
+        let mut body = plain.to_vec();
+        let tag = self.aead.seal(&self.nonce, &[], &mut body);
+        next_nonce(&mut self.nonce);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Seal arbitrary-length data as a sequence of chunks.
+    pub fn seal(&mut self, plain: &[u8]) -> Vec<u8> {
+        if plain.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for chunk in plain.chunks(MAX_CHUNK) {
+            out.extend_from_slice(&self.seal_chunk(chunk));
+        }
+        out
+    }
+}
+
+/// Where an [`AeadDecryptor`] currently is in the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AeadPhase {
+    /// Waiting for the salt to complete.
+    Salt,
+    /// Waiting for a `[len][tag]` header.
+    Length,
+    /// Waiting for `payload + tag` of the given payload length.
+    Payload(usize),
+}
+
+/// Decrypting half of an AEAD session.
+pub struct AeadDecryptor {
+    method: Method,
+    master_key: Vec<u8>,
+    aead: Option<Box<dyn Aead>>,
+    salt: Vec<u8>,
+    nonce: Vec<u8>,
+    buf: Vec<u8>,
+    phase: AeadPhase,
+}
+
+impl AeadDecryptor {
+    /// Start a decryption session; the salt arrives with the data.
+    pub fn new(method: Method, master_key: &[u8]) -> AeadDecryptor {
+        assert_eq!(method.kind(), Kind::Aead);
+        AeadDecryptor {
+            method,
+            master_key: master_key.to_vec(),
+            aead: None,
+            salt: Vec::new(),
+            nonce: Vec::new(),
+            buf: Vec::new(),
+            phase: AeadPhase::Salt,
+        }
+    }
+
+    /// True once the full salt has been received.
+    pub fn salt_complete(&self) -> bool {
+        self.aead.is_some()
+    }
+
+    /// The received salt (meaningful once [`Self::salt_complete`]).
+    pub fn salt(&self) -> &[u8] {
+        &self.salt
+    }
+
+    /// Bytes buffered but not yet decryptable.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() + self.salt.len()
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> AeadPhase {
+        self.phase
+    }
+
+    /// Feed ciphertext. Returns complete decrypted chunks, or the first
+    /// authentication error (at which point the session is poisoned).
+    pub fn decrypt(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, AuthError> {
+        let salt_len = self.method.iv_len();
+        let mut data = data;
+        if self.aead.is_none() {
+            let need = salt_len - self.salt.len();
+            let take = need.min(data.len());
+            self.salt.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.salt.len() == salt_len {
+                let subkey = ss_subkey(&self.master_key, &self.salt);
+                let aead = self.method.new_aead(&subkey);
+                self.nonce = vec![0u8; aead.nonce_len()];
+                self.aead = Some(aead);
+                self.phase = AeadPhase::Length;
+            }
+        }
+        self.buf.extend_from_slice(data);
+        let Some(aead) = &self.aead else {
+            return Ok(Vec::new());
+        };
+
+        let mut out = Vec::new();
+        loop {
+            match self.phase {
+                AeadPhase::Salt => unreachable!("salt handled above"),
+                AeadPhase::Length => {
+                    if self.buf.len() < 2 + TAG_LEN {
+                        break;
+                    }
+                    let mut len_bytes = [self.buf[0], self.buf[1]];
+                    let tag: [u8; TAG_LEN] = self.buf[2..2 + TAG_LEN].try_into().unwrap();
+                    aead.open(&self.nonce, &[], &mut len_bytes, &tag)?;
+                    next_nonce(&mut self.nonce);
+                    self.buf.drain(..2 + TAG_LEN);
+                    let len = u16::from_be_bytes(len_bytes) as usize & MAX_CHUNK;
+                    self.phase = AeadPhase::Payload(len);
+                }
+                AeadPhase::Payload(len) => {
+                    if self.buf.len() < len + TAG_LEN {
+                        break;
+                    }
+                    let mut body = self.buf[..len].to_vec();
+                    let tag: [u8; TAG_LEN] = self.buf[len..len + TAG_LEN].try_into().unwrap();
+                    aead.open(&self.nonce, &[], &mut body, &tag)?;
+                    next_nonce(&mut self.nonce);
+                    self.buf.drain(..len + TAG_LEN);
+                    out.push(body);
+                    self.phase = AeadPhase::Length;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscrypto::method::ALL_METHODS;
+
+    fn key_for(m: Method) -> Vec<u8> {
+        sscrypto::kdf::evp_bytes_to_key(b"test-password", m.key_len())
+    }
+
+    #[test]
+    fn stream_roundtrip_all_methods() {
+        for &m in ALL_METHODS.iter().filter(|m| m.kind() == Kind::Stream) {
+            let key = key_for(m);
+            let iv = vec![0x5au8; m.iv_len()];
+            let mut enc = StreamEncryptor::new(m, &key, iv);
+            let mut dec = StreamDecryptor::new(m, &key);
+            let a = enc.encrypt(b"hello ");
+            let b = enc.encrypt(b"world");
+            assert_eq!(a.len(), m.iv_len() + 6, "{}", m.name());
+            let mut plain = dec.decrypt(&a);
+            plain.extend(dec.decrypt(&b));
+            assert_eq!(plain, b"hello world", "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn stream_decryptor_handles_split_iv() {
+        let m = Method::Aes256Cfb;
+        let key = key_for(m);
+        let mut enc = StreamEncryptor::new(m, &key, vec![9u8; 16]);
+        let ct = enc.encrypt(b"payload after split iv");
+        let mut dec = StreamDecryptor::new(m, &key);
+        let mut plain = Vec::new();
+        // Feed one byte at a time across the IV boundary.
+        for b in &ct {
+            plain.extend(dec.decrypt(std::slice::from_ref(b)));
+        }
+        assert_eq!(plain, b"payload after split iv");
+    }
+
+    #[test]
+    fn aead_roundtrip_all_methods() {
+        for &m in ALL_METHODS.iter().filter(|m| m.kind() == Kind::Aead) {
+            let key = key_for(m);
+            let salt = vec![0x21u8; m.iv_len()];
+            let mut enc = AeadEncryptor::new(m, &key, salt);
+            let mut dec = AeadDecryptor::new(m, &key);
+            let ct = enc.seal(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n");
+            let chunks = dec.decrypt(&ct).unwrap();
+            let plain: Vec<u8> = chunks.concat();
+            assert_eq!(plain, b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n".to_vec());
+        }
+    }
+
+    #[test]
+    fn aead_frame_overhead_matches_spec() {
+        // First frame: salt + 2 + 16 + payload + 16 (§2 of the paper).
+        let m = Method::ChaCha20IetfPoly1305;
+        let key = key_for(m);
+        let mut enc = AeadEncryptor::new(m, &key, vec![1u8; 32]);
+        let ct = enc.seal_chunk(b"abc");
+        assert_eq!(ct.len(), 32 + 2 + 16 + 3 + 16);
+        // Second frame has no salt.
+        let ct2 = enc.seal_chunk(b"defg");
+        assert_eq!(ct2.len(), 2 + 16 + 4 + 16);
+    }
+
+    #[test]
+    fn aead_decryptor_streams_byte_by_byte() {
+        let m = Method::Aes128Gcm;
+        let key = key_for(m);
+        let mut enc = AeadEncryptor::new(m, &key, vec![7u8; 16]);
+        let ct = enc.seal(b"chunked delivery");
+        let mut dec = AeadDecryptor::new(m, &key);
+        let mut plain = Vec::new();
+        for b in &ct {
+            for chunk in dec.decrypt(std::slice::from_ref(b)).unwrap() {
+                plain.extend(chunk);
+            }
+        }
+        assert_eq!(plain, b"chunked delivery");
+    }
+
+    #[test]
+    fn aead_random_junk_fails_auth() {
+        let m = Method::Aes256Gcm;
+        let key = key_for(m);
+        let mut dec = AeadDecryptor::new(m, &key);
+        // 32-byte salt + 34 bytes of junk ≥ the length-chunk threshold.
+        let junk = vec![0xEEu8; 66];
+        assert!(dec.decrypt(&junk).is_err());
+    }
+
+    #[test]
+    fn aead_tampered_length_fails() {
+        let m = Method::Aes128Gcm;
+        let key = key_for(m);
+        let mut enc = AeadEncryptor::new(m, &key, vec![7u8; 16]);
+        let mut ct = enc.seal(b"x");
+        ct[16] ^= 1; // flip a bit in the encrypted length
+        let mut dec = AeadDecryptor::new(m, &key);
+        assert!(dec.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn aead_wrong_salt_wrong_subkey() {
+        let m = Method::Aes128Gcm;
+        let key = key_for(m);
+        let mut enc = AeadEncryptor::new(m, &key, vec![7u8; 16]);
+        let mut ct = enc.seal(b"x");
+        ct[0] ^= 1; // flip a bit in the salt — the GFW's type R2 probe
+        let mut dec = AeadDecryptor::new(m, &key);
+        assert!(dec.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn multi_chunk_large_payload() {
+        let m = Method::ChaCha20IetfPoly1305;
+        let key = key_for(m);
+        let mut enc = AeadEncryptor::new(m, &key, vec![3u8; 32]);
+        let big: Vec<u8> = (0..100_000u32).map(|i| i as u8).collect();
+        let ct = enc.seal(&big);
+        let mut dec = AeadDecryptor::new(m, &key);
+        let plain: Vec<u8> = dec.decrypt(&ct).unwrap().concat();
+        assert_eq!(plain, big);
+    }
+}

@@ -1,0 +1,401 @@
+//! Engine-level reproduction of the paper's Fig 10 reaction matrix and
+//! Table 5 replay reactions.
+//!
+//! For each implementation profile and cipher class, random probes of
+//! varying lengths must produce the TIMEOUT / RST / FIN-ACK /
+//! connect-attempt behaviour the paper measured, with the right
+//! probabilities (3/16 valid address types under masking, etc.).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shadowsocks::server::{ServerAction, ServerConn};
+use shadowsocks::{ClientSession, Profile, ServerConfig, TargetAddr};
+use sscrypto::method::Method;
+
+/// Immediate engine reaction to a single probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Immediate {
+    /// No action: the server keeps waiting (the TIMEOUT column).
+    Wait,
+    Rst,
+    Fin,
+    /// Decrypted to a plausible target: the server attempts an outbound
+    /// connection (resolves to TIMEOUT or FIN/ACK depending on the
+    /// target's fate).
+    Connect,
+    /// Replay of genuine data on a filterless server: proxied (Table 5's
+    /// "D" — the server sends data once the target answers).
+    Data,
+}
+
+fn classify(actions: &[ServerAction]) -> Immediate {
+    for a in actions {
+        match a {
+            ServerAction::CloseRst => return Immediate::Rst,
+            ServerAction::CloseFin => return Immediate::Fin,
+            ServerAction::ConnectTarget(_) => return Immediate::Connect,
+            ServerAction::SendToClient(_) | ServerAction::RelayToTarget(_) => {
+                return Immediate::Data
+            }
+        }
+    }
+    Immediate::Wait
+}
+
+fn probe_once(server: &mut ServerConn, payload: &[u8]) -> Immediate {
+    let conn = server.open_conn();
+    let reaction = classify(&server.on_data(conn, payload));
+    server.close_conn(conn);
+    reaction
+}
+
+fn random_probe(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut p = vec![0u8; len];
+    rng.fill(&mut p[..]);
+    p
+}
+
+/// Sample `n` random probes of length `len`; return the fraction of each
+/// reaction.
+fn sample(config: &ServerConfig, len: usize, n: usize, seed: u64) -> Vec<(Immediate, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = std::collections::HashMap::new();
+    for i in 0..n {
+        // Fresh server per probe so the replay filter never interferes.
+        let mut server = ServerConn::new(config.clone(), seed ^ i as u64);
+        let p = random_probe(&mut rng, len);
+        *counts.entry(probe_once(&mut server, &p)).or_insert(0usize) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / n as f64))
+        .collect()
+}
+
+fn frac(dist: &[(Immediate, f64)], r: Immediate) -> f64 {
+    dist.iter().find(|(k, _)| *k == r).map(|(_, v)| *v).unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------------
+// Fig 10a: stream ciphers
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig10a_libev_old_short_probes_time_out() {
+    // Probes no longer than the IV always TIMEOUT (first rows of
+    // Fig 10a).
+    for (method, iv) in [
+        (Method::ChaCha20, 8),
+        (Method::ChaCha20Ietf, 12),
+        (Method::Aes256Ctr, 16),
+    ] {
+        let config = ServerConfig::new(method, "pw", Profile::LIBEV_OLD);
+        for len in 1..=iv {
+            let dist = sample(&config, len, 40, 1);
+            assert_eq!(
+                frac(&dist, Immediate::Wait),
+                1.0,
+                "{} len {len}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10a_libev_old_mid_probes_mostly_rst() {
+    // IV+1 .. IV+6: 13/16 of address types are invalid → RST; the valid
+    // 3/16 wait for a complete spec.
+    let config = ServerConfig::new(Method::Aes256Ctr, "pw", Profile::LIBEV_OLD);
+    for len in [17usize, 20, 22] {
+        let dist = sample(&config, len, 600, 7);
+        let rst = frac(&dist, Immediate::Rst);
+        assert!(
+            (rst - 13.0 / 16.0).abs() < 0.06,
+            "len {len}: rst fraction {rst}"
+        );
+        assert_eq!(frac(&dist, Immediate::Fin), 0.0, "no FIN before a full spec");
+    }
+}
+
+#[test]
+fn fig10a_libev_old_long_probes_mixed() {
+    // ≥ IV+7: RST ~13/16; the rest split between waiting (incomplete
+    // hostname/IPv6 specs) and connect attempts.
+    let config = ServerConfig::new(Method::Aes256Ctr, "pw", Profile::LIBEV_OLD);
+    let dist = sample(&config, 16 + 30, 800, 21);
+    let rst = frac(&dist, Immediate::Rst);
+    assert!((rst - 13.0 / 16.0).abs() < 0.05, "rst fraction {rst}");
+    assert!(frac(&dist, Immediate::Connect) > 0.02, "some probes connect");
+    assert!(frac(&dist, Immediate::Wait) > 0.01, "some probes wait");
+}
+
+#[test]
+fn fig10a_unmasked_implementation_rsts_more() {
+    // Without address-type masking the valid fraction is 3/256, so the
+    // RST fraction rises to ~253/256 — the signature §5.2.2 says lets an
+    // attacker tell implementations apart.
+    let config = ServerConfig::new(Method::Aes256Ctr, "pw", Profile::SS_PYTHON);
+    let dist = sample(&config, 46, 800, 33);
+    let rst = frac(&dist, Immediate::Rst);
+    assert!(rst > 0.97, "rst fraction {rst}");
+}
+
+#[test]
+fn fig10a_libev_new_never_rsts() {
+    // v3.3.1+ turned every error into silence.
+    let config = ServerConfig::new(Method::Aes128Ctr, "pw", Profile::LIBEV_NEW);
+    for len in [1usize, 9, 15, 22, 49, 221] {
+        let dist = sample(&config, len, 200, 3);
+        assert_eq!(frac(&dist, Immediate::Rst), 0.0, "len {len}");
+        assert_eq!(frac(&dist, Immediate::Fin), 0.0, "len {len}");
+        let wait = frac(&dist, Immediate::Wait);
+        assert!(wait > 0.7, "len {len}: wait {wait}");
+    }
+}
+
+#[test]
+fn fig10a_valid_spec_probability_matches_masking() {
+    // At exactly IV+7 the only completable spec is IPv4 (masked nibble
+    // 0x1, p = 1/16) or a very short hostname (0x3 with len ≤ 3).
+    let config = ServerConfig::new(Method::Aes256Ctr, "pw", Profile::LIBEV_OLD);
+    let dist = sample(&config, 16 + 7, 2000, 5);
+    let connect = frac(&dist, Immediate::Connect);
+    // IPv4: 1/16 ≈ 0.0625; short-hostname completions add ~1/16 × 4/256.
+    assert!(
+        (connect - 0.0635).abs() < 0.02,
+        "connect fraction {connect}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fig 10b: AEAD ciphers
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig10b_libev_old_thresholds() {
+    for (method, salt) in [
+        (Method::Aes128Gcm, 16usize),
+        (Method::Aes192Gcm, 24),
+        (Method::Aes256Gcm, 32),
+    ] {
+        let config = ServerConfig::new(method, "pw", Profile::LIBEV_OLD);
+        // Fig 10b: TIMEOUT through salt+34, RST from salt+35.
+        let threshold = salt + 35;
+        for len in [threshold - 10, threshold - 1, threshold] {
+            let dist = sample(&config, len, 30, 11);
+            if len < threshold {
+                assert_eq!(
+                    frac(&dist, Immediate::Wait),
+                    1.0,
+                    "{} len {len} below threshold",
+                    method.name()
+                );
+            } else {
+                assert_eq!(
+                    frac(&dist, Immediate::Rst),
+                    1.0,
+                    "{} len {len} at threshold",
+                    method.name()
+                );
+            }
+        }
+        // Far above threshold: always RST.
+        let dist = sample(&config, 221, 30, 12);
+        assert_eq!(frac(&dist, Immediate::Rst), 1.0, "{}", method.name());
+    }
+}
+
+#[test]
+fn fig10b_libev_new_always_times_out() {
+    let config = ServerConfig::new(Method::Aes256Gcm, "pw", Profile::LIBEV_NEW);
+    for len in [1usize, 50, 51, 66, 67, 100, 221] {
+        let dist = sample(&config, len, 20, 13);
+        assert_eq!(frac(&dist, Immediate::Wait), 1.0, "len {len}");
+    }
+}
+
+#[test]
+fn fig10b_outline_106_fin_at_exactly_50() {
+    let config = ServerConfig::new(Method::ChaCha20IetfPoly1305, "pw", Profile::OUTLINE_1_0_6);
+    for len in 1..50usize {
+        let dist = sample(&config, len, 10, 14);
+        assert_eq!(frac(&dist, Immediate::Wait), 1.0, "len {len}");
+    }
+    let dist = sample(&config, 50, 50, 15);
+    assert_eq!(frac(&dist, Immediate::Fin), 1.0, "exactly 50 → FIN/ACK");
+    for len in [51usize, 52, 60, 100, 221] {
+        let dist = sample(&config, len, 20, 16);
+        assert_eq!(frac(&dist, Immediate::Rst), 1.0, "len {len} → RST");
+    }
+}
+
+#[test]
+fn fig10b_outline_107_always_times_out() {
+    let config = ServerConfig::new(Method::ChaCha20IetfPoly1305, "pw", Profile::OUTLINE_1_0_7);
+    for len in [1usize, 49, 50, 51, 100, 221] {
+        let dist = sample(&config, len, 20, 17);
+        assert_eq!(frac(&dist, Immediate::Wait), 1.0, "len {len}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 5: replay reactions
+// ---------------------------------------------------------------------
+
+fn genuine_first_packet(config: &ServerConfig, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = ClientSession::new(
+        config,
+        TargetAddr::Hostname(b"www.wikipedia.org".to_vec(), 443),
+        &mut rng,
+    );
+    client.send(b"\x16\x03\x01\x02\x00\x01\x00\x01\xfc") // TLS-ish bytes
+}
+
+#[test]
+fn table5_identical_replay_reactions() {
+    // (profile, method, expected reaction to an identical replay)
+    let cases = [
+        (Profile::LIBEV_OLD, Method::Aes256Cfb, Immediate::Rst),
+        (Profile::LIBEV_OLD, Method::Aes256Gcm, Immediate::Rst),
+        (Profile::LIBEV_NEW, Method::Aes256Cfb, Immediate::Wait),
+        (Profile::LIBEV_NEW, Method::Aes256Gcm, Immediate::Wait),
+        // Outline (no replay filter): replay is accepted and proxied.
+        (Profile::OUTLINE_1_0_7, Method::ChaCha20IetfPoly1305, Immediate::Connect),
+        // Outline v1.1.0 added the replay defense.
+        (Profile::OUTLINE_1_1_0, Method::ChaCha20IetfPoly1305, Immediate::Wait),
+    ];
+    for (profile, method, want) in cases {
+        let config = ServerConfig::new(method, "pw", profile);
+        let payload = genuine_first_packet(&config, 99);
+        let mut server = ServerConn::new(config, 1);
+        // Original connection.
+        let c1 = server.open_conn();
+        let first = classify(&server.on_data(c1, &payload));
+        assert_eq!(
+            first,
+            Immediate::Connect,
+            "{} {}: genuine connection must parse",
+            profile.name,
+            method.name()
+        );
+        // The replay.
+        let c2 = server.open_conn();
+        let replayed = classify(&server.on_data(c2, &payload));
+        assert_eq!(
+            replayed, want,
+            "{} {}: identical replay",
+            profile.name,
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn table5_byte_changed_replay_aead() {
+    // Changing byte 0 (inside the salt) breaks the subkey derivation:
+    // auth failure → RST on old libev, silence on new libev and Outline
+    // v1.0.7+.
+    let cases = [
+        (Profile::LIBEV_OLD, Immediate::Rst),
+        (Profile::LIBEV_NEW, Immediate::Wait),
+        (Profile::OUTLINE_1_0_7, Immediate::Wait),
+    ];
+    for (profile, want) in cases {
+        let method = if profile.supports_stream {
+            Method::Aes256Gcm
+        } else {
+            Method::ChaCha20IetfPoly1305
+        };
+        let config = ServerConfig::new(method, "pw", profile);
+        let mut payload = genuine_first_packet(&config, 123);
+        payload[0] ^= 0x55; // type R2: byte 0 changed
+        let mut server = ServerConn::new(config, 2);
+        let conn = server.open_conn();
+        assert_eq!(
+            classify(&server.on_data(conn, &payload)),
+            want,
+            "{}",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn byte16_changed_replay_hits_stream_replay_filter() {
+    // Type R4 (byte 16 changed) leaves a 16-byte IV *intact*: on a
+    // filterless stream server this is a chosen-ciphertext probe, but on
+    // libev the unchanged IV trips the replay filter.
+    let config = ServerConfig::new(Method::Aes256Cfb, "pw", Profile::LIBEV_OLD);
+    let payload = genuine_first_packet(&config, 5);
+    let mut server = ServerConn::new(config, 3);
+    let c1 = server.open_conn();
+    let _ = server.on_data(c1, &payload);
+    let mut changed = payload.clone();
+    changed[16] ^= 0xA0;
+    let c2 = server.open_conn();
+    assert_eq!(classify(&server.on_data(c2, &changed)), Immediate::Rst);
+}
+
+#[test]
+fn byte16_changed_on_filterless_stream_is_chosen_ciphertext() {
+    // Same probe against shadowsocks-python (no filter): byte 16 is the
+    // address-type byte; flipping it re-rolls the 3/256 validity dice.
+    let config = ServerConfig::new(Method::Aes256Cfb, "pw", Profile::SS_PYTHON);
+    let payload = genuine_first_packet(&config, 6);
+    let mut rng = StdRng::seed_from_u64(50);
+    let mut outcomes = std::collections::HashSet::new();
+    for _ in 0..100 {
+        let mut server = ServerConn::new(config.clone(), 4);
+        let mut changed = payload.clone();
+        changed[16] ^= rng.gen_range(1..=255u8);
+        let c = server.open_conn();
+        outcomes.insert(classify(&server.on_data(c, &changed)));
+    }
+    // Mostly RST, occasionally something else — but never only waits.
+    assert!(outcomes.contains(&Immediate::Rst));
+}
+
+#[test]
+fn replay_after_restart_is_not_detected() {
+    // §7.2's asymmetry: the filter forgets across restarts; the censor
+    // does not.
+    let config = ServerConfig::new(Method::Aes256Gcm, "pw", Profile::LIBEV_OLD);
+    let payload = genuine_first_packet(&config, 77);
+    let mut server = ServerConn::new(config, 5);
+    let c1 = server.open_conn();
+    let _ = server.on_data(c1, &payload);
+    server.restart();
+    let c2 = server.open_conn();
+    assert_eq!(
+        classify(&server.on_data(c2, &payload)),
+        Immediate::Connect,
+        "replay accepted after restart"
+    );
+}
+
+#[test]
+fn repeated_random_probe_reveals_replay_filter() {
+    // §5.3: send the same random probe twice; a filtered server reacts
+    // differently the second time. (~10% of the GFW's NR2 probes were
+    // observed repeated, presumably for this purpose.)
+    let mut rng = StdRng::seed_from_u64(1000);
+    // Craft a random probe that decrypts to a valid spec so the first
+    // send causes a connect attempt; retry until we find one.
+    let config = ServerConfig::new(Method::Aes256Ctr, "pw", Profile::LIBEV_OLD);
+    let mut found = false;
+    for _ in 0..2000 {
+        let probe = random_probe(&mut rng, 221);
+        let mut server = ServerConn::new(config.clone(), 6);
+        let c1 = server.open_conn();
+        if classify(&server.on_data(c1, &probe)) == Immediate::Connect {
+            let c2 = server.open_conn();
+            let second = classify(&server.on_data(c2, &probe));
+            assert_eq!(second, Immediate::Rst, "filter catches the repeat");
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "no valid-decrypting probe found in budget");
+}

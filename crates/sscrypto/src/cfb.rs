@@ -1,0 +1,137 @@
+//! AES-CFB128 mode (NIST SP 800-38A), as used by the classic
+//! `aes-128-cfb` / `aes-256-cfb` Shadowsocks stream-cipher methods.
+//!
+//! CFB is self-synchronizing: the keystream for the next block is the
+//! encryption of the previous *ciphertext* block, which is why the
+//! encrypt and decrypt directions need distinct state handling.
+
+use crate::aes::Aes;
+
+/// Direction of a CFB cipher instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Producing ciphertext from plaintext.
+    Encrypt,
+    /// Recovering plaintext from ciphertext.
+    Decrypt,
+}
+
+/// Incremental CFB128 cipher.
+#[derive(Clone)]
+pub struct AesCfb {
+    aes: Aes,
+    register: [u8; 16],
+    keystream: [u8; 16],
+    used: usize,
+    dir: Direction,
+}
+
+impl AesCfb {
+    /// Create a cipher with the given key (16/24/32 bytes), 16-byte IV and
+    /// direction.
+    pub fn new(key: &[u8], iv: &[u8; 16], dir: Direction) -> Self {
+        AesCfb {
+            aes: Aes::new(key),
+            register: *iv,
+            keystream: [0; 16],
+            used: 16,
+            dir,
+        }
+    }
+
+    /// Transform `data` in place, continuing the stream.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.used == 16 {
+                self.keystream = self.aes.encrypt(&self.register);
+                self.used = 0;
+            }
+            let input = *byte;
+            *byte ^= self.keystream[self.used];
+            // Feed the ciphertext byte back into the shift register.
+            self.register[self.used] = match self.dir {
+                Direction::Encrypt => *byte,
+                Direction::Decrypt => input,
+            };
+            self.used += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // NIST SP 800-38A F.3.13 CFB128-AES128.Encrypt.
+    #[test]
+    fn sp800_38a_cfb128_aes128() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut data = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51",
+        );
+        let want = unhex(
+            "3b3fd92eb72dad20333449f8e83cfb4a\
+             c8a64537a0b3a93fcde3cdad9f1ce58b",
+        );
+        let mut c = AesCfb::new(&key, &iv, Direction::Encrypt);
+        c.apply(&mut data);
+        assert_eq!(data, want);
+    }
+
+    // NIST SP 800-38A F.3.17 CFB128-AES256.Encrypt (first block).
+    #[test]
+    fn sp800_38a_cfb128_aes256() {
+        let key = unhex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut data = unhex("6bc1bee22e409f96e93d7e117393172a");
+        let want = unhex("dc7e84bfda79164b7ecd8486985d3860");
+        let mut c = AesCfb::new(&key, &iv, Direction::Encrypt);
+        c.apply(&mut data);
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn roundtrip_uneven_chunks() {
+        let key = [0x11u8; 32];
+        let iv = [0x22u8; 16];
+        let plain: Vec<u8> = (0..200u8).collect();
+        let mut buf = plain.clone();
+        let mut enc = AesCfb::new(&key, &iv, Direction::Encrypt);
+        enc.apply(&mut buf[..5]);
+        enc.apply(&mut buf[5..21]);
+        enc.apply(&mut buf[21..]);
+        let mut dec = AesCfb::new(&key, &iv, Direction::Decrypt);
+        let mut out = buf.clone();
+        dec.apply(&mut out[..33]);
+        dec.apply(&mut out[33..]);
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn ciphertext_malleability_garbles_one_block_then_resyncs() {
+        // CFB's self-synchronization is the property the paper's
+        // byte-change probes (R2–R5) exploit: flipping ciphertext byte i
+        // flips plaintext byte i and garbles the following block, after
+        // which decryption resynchronizes.
+        let key = [7u8; 16];
+        let iv = [1u8; 16];
+        let plain = vec![0u8; 64];
+        let mut ct = plain.clone();
+        AesCfb::new(&key, &iv, Direction::Encrypt).apply(&mut ct);
+        ct[0] ^= 0x80; // flip one bit in the first ciphertext byte
+        let mut pt = ct.clone();
+        AesCfb::new(&key, &iv, Direction::Decrypt).apply(&mut pt);
+        assert_eq!(pt[0], 0x80, "bit flip maps directly to plaintext");
+        assert_ne!(&pt[16..32], &plain[16..32], "next block garbled");
+        assert_eq!(&pt[32..], &plain[32..], "stream resynchronizes");
+    }
+}

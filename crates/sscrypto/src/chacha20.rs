@@ -1,0 +1,299 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Covers the `chacha20-ietf` Shadowsocks stream method (12-byte nonce —
+//! the only stream method with a 12-byte IV, a fact the paper notes lets
+//! an attacker infer the cipher from the IV length, §5.2.2) and the
+//! keystream half of `chacha20-ietf-poly1305`.
+
+/// ChaCha20 keystream generator with the IETF 96-bit nonce / 32-bit
+/// counter layout.
+#[derive(Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+    keystream: [u8; 64],
+    used: usize,
+}
+
+impl ChaCha20 {
+    /// Create a cipher from a 32-byte key, 12-byte nonce and initial block
+    /// counter (0 for Shadowsocks streams; 1 for the AEAD payload since
+    /// block 0 keys Poly1305).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha20 {
+            state,
+            keystream: [0; 64],
+            used: 64,
+        }
+    }
+
+    /// Produce one 64-byte keystream block for the current counter and
+    /// advance the counter.
+    fn next_block(&mut self) {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (i, w) in working.iter_mut().enumerate() {
+            *w = w.wrapping_add(self.state[i]);
+            self.keystream[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.used = 0;
+    }
+
+    /// XOR the keystream into `data` in place, continuing the stream.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.used == 64 {
+                self.next_block();
+            }
+            *byte ^= self.keystream[self.used];
+            self.used += 1;
+        }
+    }
+
+    /// Return one raw keystream block for the given counter without
+    /// perturbing this instance (used to derive the Poly1305 key).
+    pub fn block_at(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
+        let mut c = ChaCha20::new(key, nonce, counter);
+        c.next_block();
+        c.keystream
+    }
+}
+
+/// Original (pre-IETF) ChaCha20 with an 8-byte nonce and 64-bit counter,
+/// as used by the legacy `chacha20` Shadowsocks stream method — the
+/// 8-byte-IV row of the paper's Fig 10a.
+#[derive(Clone)]
+pub struct ChaCha20Legacy {
+    state: [u32; 16],
+    keystream: [u8; 64],
+    used: usize,
+}
+
+impl ChaCha20Legacy {
+    /// Create a legacy cipher from a 32-byte key and 8-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 8]) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x61707865;
+        state[1] = 0x3320646e;
+        state[2] = 0x79622d32;
+        state[3] = 0x6b206574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        // state[12..14] is the 64-bit little-endian counter, starting at 0.
+        state[14] = u32::from_le_bytes(nonce[0..4].try_into().unwrap());
+        state[15] = u32::from_le_bytes(nonce[4..8].try_into().unwrap());
+        ChaCha20Legacy {
+            state,
+            keystream: [0; 64],
+            used: 64,
+        }
+    }
+
+    fn next_block(&mut self) {
+        let mut working = self.state;
+        for _ in 0..10 {
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (i, w) in working.iter_mut().enumerate() {
+            *w = w.wrapping_add(self.state[i]);
+            self.keystream[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        // 64-bit counter increment across words 12 and 13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.used = 0;
+    }
+
+    /// XOR the keystream into `data` in place, continuing the stream.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.used == 64 {
+                self.next_block();
+            }
+            *byte ^= self.keystream[self.used];
+            self.used += 1;
+        }
+    }
+}
+
+/// HChaCha20 (draft-irtf-cfrg-xchacha §2.2): derive a 32-byte subkey
+/// from a key and a 16-byte nonce — the key-extension primitive behind
+/// XChaCha20.
+pub fn hchacha20(key: &[u8; 32], nonce: &[u8; 16]) -> [u8; 32] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    for i in 0..4 {
+        state[12 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    for _ in 0..10 {
+        quarter(&mut state, 0, 4, 8, 12);
+        quarter(&mut state, 1, 5, 9, 13);
+        quarter(&mut state, 2, 6, 10, 14);
+        quarter(&mut state, 3, 7, 11, 15);
+        quarter(&mut state, 0, 5, 10, 15);
+        quarter(&mut state, 1, 6, 11, 12);
+        quarter(&mut state, 2, 7, 8, 13);
+        quarter(&mut state, 3, 4, 9, 14);
+    }
+    // No final addition: words 0-3 and 12-15 are the subkey.
+    let mut out = [0u8; 32];
+    for (i, &w) in state[0..4].iter().chain(&state[12..16]).enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+        let block = ChaCha20::block_at(&key, &nonce, 1);
+        assert_eq!(
+            block[..16],
+            unhex("10f1e7e4d13b5915500fdd1fa32071c4")[..]
+        );
+        assert_eq!(
+            block[48..64],
+            unhex("b5129cd1de164eb9cbd083e8a2503c4e")[..]
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        c.apply(&mut data);
+        let want = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981\
+             e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b357\
+             1639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e\
+             52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42\
+             874d",
+        );
+        assert_eq!(data, want);
+    }
+
+    // draft-irtf-cfrg-xchacha §2.2.1 HChaCha20 test vector.
+    #[test]
+    fn hchacha20_draft_vector() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 16] = unhex("000000090000004a0000000031415927").try_into().unwrap();
+        assert_eq!(
+            hchacha20(&key, &nonce).to_vec(),
+            unhex("82413b4227b27bfed30e42508a877d73a0f9e4d58a74a853c12ec41326d3ecdc")
+        );
+    }
+
+    // Legacy ChaCha20 test vector (djb's original spec, all-zero key and
+    // nonce): first keystream bytes.
+    #[test]
+    fn legacy_zero_vector() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 8];
+        let mut data = [0u8; 32];
+        let mut c = ChaCha20Legacy::new(&key, &nonce);
+        c.apply(&mut data);
+        assert_eq!(
+            data.to_vec(),
+            unhex("76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7")
+        );
+    }
+
+    #[test]
+    fn legacy_roundtrip() {
+        let key = [0x33u8; 32];
+        let nonce = [0x44u8; 8];
+        let plain: Vec<u8> = (0..200u8).collect();
+        let mut buf = plain.clone();
+        let mut enc = ChaCha20Legacy::new(&key, &nonce);
+        enc.apply(&mut buf[..77]);
+        enc.apply(&mut buf[77..]);
+        let mut dec = ChaCha20Legacy::new(&key, &nonce);
+        dec.apply(&mut buf);
+        assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn roundtrip_uneven_chunks() {
+        let key = [0xabu8; 32];
+        let nonce = [0x01u8; 12];
+        let plain: Vec<u8> = (0..130u8).collect();
+        let mut buf = plain.clone();
+        let mut enc = ChaCha20::new(&key, &nonce, 0);
+        enc.apply(&mut buf[..1]);
+        enc.apply(&mut buf[1..65]);
+        enc.apply(&mut buf[65..]);
+        let mut dec = ChaCha20::new(&key, &nonce, 0);
+        dec.apply(&mut buf);
+        assert_eq!(buf, plain);
+    }
+}

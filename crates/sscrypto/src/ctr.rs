@@ -1,0 +1,139 @@
+//! AES-CTR keystream mode (NIST SP 800-38A).
+//!
+//! Backs the `aes-128-ctr` / `aes-192-ctr` / `aes-256-ctr` Shadowsocks
+//! stream-cipher methods: the 16-byte IV that starts each stream is the
+//! initial counter block, incremented big-endian per block.
+
+use crate::aes::Aes;
+
+/// Incremental CTR-mode keystream cipher. Encryption and decryption are
+/// the same operation (XOR with the keystream).
+#[derive(Clone)]
+pub struct AesCtr {
+    aes: Aes,
+    counter: [u8; 16],
+    keystream: [u8; 16],
+    used: usize,
+}
+
+impl AesCtr {
+    /// Create a cipher with the given key (16/24/32 bytes) and 16-byte
+    /// initial counter block (the Shadowsocks IV).
+    pub fn new(key: &[u8], iv: &[u8; 16]) -> Self {
+        AesCtr {
+            aes: Aes::new(key),
+            counter: *iv,
+            keystream: [0; 16],
+            used: 16, // force generation on first use
+        }
+    }
+
+    fn next_keystream(&mut self) {
+        self.keystream = self.aes.encrypt(&self.counter);
+        // Increment the counter block as a 128-bit big-endian integer.
+        for b in self.counter.iter_mut().rev() {
+            *b = b.wrapping_add(1);
+            if *b != 0 {
+                break;
+            }
+        }
+        self.used = 0;
+    }
+
+    /// XOR the keystream into `data` in place. Stateful: successive calls
+    /// continue the stream.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.used == 16 {
+                self.next_keystream();
+            }
+            *byte ^= self.keystream[self.used];
+            self.used += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt.
+    #[test]
+    fn sp800_38a_ctr_aes128() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let want = unhex(
+            "874d6191b620e3261bef6864990db6ce\
+             9806f66b7970fdff8617187bb9fffdff\
+             5ae4df3edbd5d35e5b4f09020db03eab\
+             1e031dda2fbe03d1792170a0f3009cee",
+        );
+        let mut c = AesCtr::new(&key, &iv);
+        c.apply(&mut data);
+        assert_eq!(data, want);
+    }
+
+    // NIST SP 800-38A F.5.5 CTR-AES256.Encrypt (first two blocks).
+    #[test]
+    fn sp800_38a_ctr_aes256() {
+        let key = unhex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+        let iv: [u8; 16] = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let mut data = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51",
+        );
+        let want = unhex(
+            "601ec313775789a5b7a7f504bbf3d228\
+             f443e3ca4d62b59aca84e990cacaf5c5",
+        );
+        let mut c = AesCtr::new(&key, &iv);
+        c.apply(&mut data);
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn roundtrip_and_statefulness() {
+        let key = [9u8; 16];
+        let iv = [3u8; 16];
+        let plain: Vec<u8> = (0..100u8).collect();
+        let mut buf = plain.clone();
+        let mut enc = AesCtr::new(&key, &iv);
+        // Apply in uneven chunks to exercise keystream carry-over.
+        enc.apply(&mut buf[..7]);
+        enc.apply(&mut buf[7..40]);
+        enc.apply(&mut buf[40..]);
+        assert_ne!(buf, plain);
+        let mut dec = AesCtr::new(&key, &iv);
+        dec.apply(&mut buf);
+        assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn counter_wraps_at_block_boundary() {
+        // Counter block of all 0xff must wrap around to zero without panic.
+        let key = [0u8; 16];
+        let iv = [0xffu8; 16];
+        let mut data = [0u8; 48];
+        let mut c = AesCtr::new(&key, &iv);
+        c.apply(&mut data);
+        // Blocks 2 and 3 use counters 0x00..00 and 0x00..01.
+        let aes = Aes::new(&key);
+        let mut ctr0 = [0u8; 16];
+        assert_eq!(&data[16..32], &aes.encrypt(&ctr0));
+        ctr0[15] = 1;
+        assert_eq!(&data[32..48], &aes.encrypt(&ctr0));
+    }
+}

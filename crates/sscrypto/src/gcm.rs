@@ -1,0 +1,262 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! Covers the `aes-128-gcm`, `aes-192-gcm` and `aes-256-gcm` Shadowsocks
+//! AEAD methods (salt sizes 16, 24 and 32 bytes respectively). GHASH is
+//! implemented with plain shift-and-conditional-xor GF(2^128)
+//! multiplication; correctness over speed.
+
+use crate::aes::Aes;
+use crate::AuthError;
+
+/// GCM tag length in bytes (Shadowsocks always uses the full 16).
+pub const TAG_LEN: usize = 16;
+
+/// GCM nonce length in bytes (the 96-bit fast path; Shadowsocks AEAD
+/// nonces are always 12 bytes).
+pub const NONCE_LEN: usize = 12;
+
+/// Multiply two GF(2^128) elements in the GCM bit order.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z: u128 = 0;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// GHASH over the hash subkey `h`.
+struct GHash {
+    h: u128,
+    y: u128,
+}
+
+impl GHash {
+    fn new(h: [u8; 16]) -> Self {
+        GHash {
+            h: u128::from_be_bytes(h),
+            y: 0,
+        }
+    }
+
+    /// Absorb data, zero-padded to a 16-byte boundary.
+    fn update_padded(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let mut block = [0u8; 16];
+            let take = data.len().min(16);
+            block[..take].copy_from_slice(&data[..take]);
+            self.y = gf_mul(self.y ^ u128::from_be_bytes(block), self.h);
+            data = &data[take..];
+        }
+    }
+
+    fn finalize(mut self, aad_len: usize, ct_len: usize) -> [u8; 16] {
+        let lens = ((aad_len as u128 * 8) << 64) | (ct_len as u128 * 8);
+        self.y = gf_mul(self.y ^ lens, self.h);
+        self.y.to_be_bytes()
+    }
+}
+
+/// AES-GCM instance bound to one key.
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: [u8; 16],
+}
+
+impl AesGcm {
+    /// Create an AES-GCM instance with a 16/24/32-byte key.
+    pub fn new(key: &[u8]) -> Self {
+        let aes = Aes::new(key);
+        let h = aes.encrypt(&[0u8; 16]);
+        AesGcm { aes, h }
+    }
+
+    fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
+        let mut j = [0u8; 16];
+        j[..12].copy_from_slice(nonce);
+        j[12..].copy_from_slice(&counter.to_be_bytes());
+        j
+    }
+
+    fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        let mut counter = 2u32; // counter 1 is reserved for the tag mask
+        for chunk in data.chunks_mut(16) {
+            let ks = self.aes.encrypt(&Self::counter_block(nonce, counter));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let mut gh = GHash::new(self.h);
+        gh.update_padded(aad);
+        gh.update_padded(ct);
+        let s = gh.finalize(aad.len(), ct.len());
+        let mask = self.aes.encrypt(&Self::counter_block(nonce, 1));
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            tag[i] = s[i] ^ mask[i];
+        }
+        tag
+    }
+
+    /// Encrypt `plaintext` in place and return the tag.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        self.ctr_xor(nonce, data);
+        self.tag(nonce, aad, data)
+    }
+
+    /// Verify the tag, then decrypt `ciphertext` in place.
+    ///
+    /// On tag mismatch the data is left untouched and `AuthError` is
+    /// returned.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<(), AuthError> {
+        let want = self.tag(nonce, aad, data);
+        if !crate::ct_eq(&want, tag) {
+            return Err(AuthError);
+        }
+        self.ctr_xor(nonce, data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // McGrew & Viega GCM spec test case 1: empty everything, AES-128.
+    #[test]
+    fn gcm_spec_case1() {
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let nonce = [0u8; 12];
+        let mut data = [];
+        let tag = gcm.seal_in_place(&nonce, &[], &mut data);
+        assert_eq!(hex(&tag), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // Test case 2: single zero block.
+    #[test]
+    fn gcm_spec_case2() {
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let nonce = [0u8; 12];
+        let mut data = [0u8; 16];
+        let tag = gcm.seal_in_place(&nonce, &[], &mut data);
+        assert_eq!(hex(&data), "0388dace60b6a392f328c2b971b2fe78");
+        assert_eq!(hex(&tag), "ab6e47d42cec13bdf53a67b21257bddf");
+    }
+
+    // Test case 4: AAD + multi-block plaintext, AES-128.
+    #[test]
+    fn gcm_spec_case4() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let mut data = unhex(
+            "d9313225f88406e5a55909c5aff5269a\
+             86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525\
+             b16aedf5aa0de657ba637b39",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::new(&key);
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut data);
+        assert_eq!(
+            hex(&data),
+            "42831ec2217774244b7221b784d0d49c\
+             e3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa05\
+             1ba30b396a0aac973d58e091"
+                .replace(' ', "")
+        );
+        assert_eq!(hex(&tag), "5bc94fbc3221a5db94fae95ae7121a47");
+    }
+
+    // Test case 16: AES-256 with AAD.
+    #[test]
+    fn gcm_spec_case16() {
+        let key = unhex(
+            "feffe9928665731c6d6a8f9467308308\
+             feffe9928665731c6d6a8f9467308308",
+        );
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let mut data = unhex(
+            "d9313225f88406e5a55909c5aff5269a\
+             86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525\
+             b16aedf5aa0de657ba637b39",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::new(&key);
+        let tag = gcm.seal_in_place(&nonce, &aad, &mut data);
+        assert_eq!(
+            hex(&data),
+            "522dc1f099567d07f47f37a32a84427d\
+             643a8cdcbfe5c0c97598a2bd2555d1aa\
+             8cb08e48590dbb3da7b08b1056828838\
+             c5f61e6393ba7a0abcc9f662"
+                .replace(' ', "")
+        );
+        assert_eq!(hex(&tag), "76fc6ece0f4e1768cddf8853bb2d551b");
+    }
+
+    #[test]
+    fn roundtrip_and_tamper_detection() {
+        let gcm = AesGcm::new(&[7u8; 32]);
+        let nonce = [1u8; 12];
+        let plain = b"attack at dawn".to_vec();
+        let mut data = plain.clone();
+        let tag = gcm.seal_in_place(&nonce, b"hdr", &mut data);
+        // Roundtrip.
+        let mut dec = data.clone();
+        gcm.open_in_place(&nonce, b"hdr", &mut dec, &tag).unwrap();
+        assert_eq!(dec, plain);
+        // Tampered ciphertext fails and leaves data untouched.
+        let mut bad = data.clone();
+        bad[0] ^= 1;
+        let snapshot = bad.clone();
+        assert_eq!(
+            gcm.open_in_place(&nonce, b"hdr", &mut bad, &tag),
+            Err(AuthError)
+        );
+        assert_eq!(bad, snapshot);
+        // Wrong AAD fails.
+        let mut ct = data.clone();
+        assert_eq!(
+            gcm.open_in_place(&nonce, b"HDR", &mut ct, &tag),
+            Err(AuthError)
+        );
+    }
+}

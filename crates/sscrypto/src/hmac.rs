@@ -1,0 +1,162 @@
+//! HMAC (RFC 2104) over the hash functions in this crate.
+//!
+//! HMAC-SHA1 underlies the HKDF used to derive Shadowsocks AEAD session
+//! subkeys.
+
+use crate::{md5::Md5, sha1::Sha1, sha256::Sha256};
+
+/// A minimal incremental-hash abstraction so HMAC and HKDF can be generic.
+pub trait Hash: Clone {
+    /// Internal block length in bytes.
+    const BLOCK_LEN: usize;
+    /// Digest length in bytes.
+    const DIGEST_LEN: usize;
+    /// Fresh hasher.
+    fn new() -> Self;
+    /// Absorb data.
+    fn update(&mut self, data: &[u8]);
+    /// Finish, returning the digest as a `Vec` (lengths differ per hash).
+    fn finalize(self) -> Vec<u8>;
+}
+
+macro_rules! impl_hash {
+    ($ty:ty, $modname:ident) => {
+        impl Hash for $ty {
+            const BLOCK_LEN: usize = crate::$modname::BLOCK_LEN;
+            const DIGEST_LEN: usize = crate::$modname::DIGEST_LEN;
+            fn new() -> Self {
+                <$ty>::new()
+            }
+            fn update(&mut self, data: &[u8]) {
+                <$ty>::update(self, data)
+            }
+            fn finalize(self) -> Vec<u8> {
+                <$ty>::finalize(self).to_vec()
+            }
+        }
+    };
+}
+
+impl_hash!(Md5, md5);
+impl_hash!(Sha1, sha1);
+impl_hash!(Sha256, sha256);
+
+/// Incremental HMAC.
+#[derive(Clone)]
+pub struct Hmac<H: Hash> {
+    inner: H,
+    opad_key: Vec<u8>,
+}
+
+impl<H: Hash> Hmac<H> {
+    /// Create an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = if key.len() > H::BLOCK_LEN {
+            let mut h = H::new();
+            h.update(key);
+            h.finalize()
+        } else {
+            key.to_vec()
+        };
+        k.resize(H::BLOCK_LEN, 0);
+        let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = H::new();
+        inner.update(&ipad);
+        Hmac {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorb message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the MAC.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = H::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC.
+pub fn hmac<H: Hash>(key: &[u8], data: &[u8]) -> Vec<u8> {
+    let mut m = Hmac::<H>::new(key);
+    m.update(data);
+    m.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 test cases.
+    #[test]
+    fn rfc2202_hmac_md5() {
+        assert_eq!(
+            hex(&hmac::<Md5>(&[0x0b; 16], b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+        assert_eq!(
+            hex(&hmac::<Md5>(b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+        assert_eq!(
+            hex(&hmac::<Md5>(&[0xaa; 16], &[0xdd; 50])),
+            "56be34521d144c88dbb8c733f0e8b3f6"
+        );
+    }
+
+    #[test]
+    fn rfc2202_hmac_sha1() {
+        assert_eq!(
+            hex(&hmac::<Sha1>(&[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hex(&hmac::<Sha1>(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        // Key longer than block size.
+        assert_eq!(
+            hex(&hmac::<Sha1>(
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    // RFC 4231 test case 1 and 2 for HMAC-SHA256.
+    #[test]
+    fn rfc4231_hmac_sha256() {
+        assert_eq!(
+            hex(&hmac::<Sha256>(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex(&hmac::<Sha256>(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"some key";
+        let data = b"a message split across several updates";
+        let mut m = Hmac::<Sha1>::new(key);
+        m.update(&data[..10]);
+        m.update(&data[10..20]);
+        m.update(&data[20..]);
+        assert_eq!(m.finalize(), hmac::<Sha1>(key, data));
+    }
+}

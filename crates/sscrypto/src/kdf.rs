@@ -1,0 +1,77 @@
+//! Password-to-key derivation.
+//!
+//! Shadowsocks derives the master key from the shared password with the
+//! OpenSSL `EVP_BytesToKey` construction (MD5, no salt, one iteration):
+//!
+//! ```text
+//! D1 = MD5(password)
+//! D2 = MD5(D1 || password)
+//! ...
+//! key = (D1 || D2 || ...)[..key_len]
+//! ```
+
+use crate::md5::{md5, Md5};
+
+/// OpenSSL-compatible `EVP_BytesToKey` with MD5, one iteration, no salt —
+/// exactly as used by every Shadowsocks implementation to turn the shared
+/// password into the master key.
+pub fn evp_bytes_to_key(password: &[u8], key_len: usize) -> Vec<u8> {
+    let mut key = Vec::with_capacity(key_len.div_ceil(16) * 16);
+    let mut prev: Option<[u8; 16]> = None;
+    while key.len() < key_len {
+        let digest = match prev {
+            None => md5(password),
+            Some(d) => {
+                let mut h = Md5::new();
+                h.update(&d);
+                h.update(password);
+                h.finalize()
+            }
+        };
+        key.extend_from_slice(&digest);
+        prev = Some(digest);
+    }
+    key.truncate(key_len);
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sixteen_byte_key_is_plain_md5() {
+        // For a 16-byte key the derivation is exactly MD5(password).
+        assert_eq!(
+            hex(&evp_bytes_to_key(b"barfoo!", 16)),
+            hex(&md5(b"barfoo!"))
+        );
+    }
+
+    #[test]
+    fn known_32_byte_key() {
+        // openssl EVP_BytesToKey(EVP_md5(), NULL, "password", 1) — first 32
+        // bytes; cross-checked against shadowsocks implementations.
+        assert_eq!(
+            hex(&evp_bytes_to_key(b"password", 32)),
+            "5f4dcc3b5aa765d61d8327deb882cf992b95990a9151374abd8ff8c5a7a0fe08"
+        );
+    }
+
+    #[test]
+    fn prefix_property() {
+        // A shorter key is always a prefix of a longer one.
+        let long = evp_bytes_to_key(b"hunter2", 32);
+        let short = evp_bytes_to_key(b"hunter2", 24);
+        assert_eq!(&long[..24], &short[..]);
+    }
+
+    #[test]
+    fn different_passwords_differ() {
+        assert_ne!(evp_bytes_to_key(b"a", 16), evp_bytes_to_key(b"b", 16));
+    }
+}

@@ -1,0 +1,282 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented over five 26-bit limbs with 64-bit intermediate products —
+//! the classic "donna"-style arrangement, chosen because it is easy to
+//! verify against the RFC test vectors and needs no 128-bit arithmetic
+//! tricks beyond `u64` multiplies.
+
+/// Tag size in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    h: [u32; 5],
+    pad: [u32; 4],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Create a MAC from a 32-byte one-time key (`r || s`).
+    pub fn new(key: &[u8; 32]) -> Self {
+        // Clamp r per RFC 8439.
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+        let r = [
+            t0 & 0x3ffffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x3ffff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x3f03fff,
+            (t3 >> 8) & 0x00fffff,
+        ];
+        let pad = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()),
+            u32::from_le_bytes(key[20..24].try_into().unwrap()),
+            u32::from_le_bytes(key[24..28].try_into().unwrap()),
+            u32::from_le_bytes(key[28..32].try_into().unwrap()),
+        ];
+        Poly1305 {
+            r,
+            h: [0; 5],
+            pad,
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+
+        let mut h = self.h;
+        h[0] += t0 & 0x3ffffff;
+        h[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+        h[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+        h[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+        h[4] += (t3 >> 8) | hibit;
+
+        let r = self.r;
+        let s1 = r[1] * 5;
+        let s2 = r[2] * 5;
+        let s3 = r[3] * 5;
+        let s4 = r[4] * 5;
+
+        let h64: [u64; 5] = [h[0] as u64, h[1] as u64, h[2] as u64, h[3] as u64, h[4] as u64];
+        let r64: [u64; 5] = [r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64];
+        let s64: [u64; 4] = [s1 as u64, s2 as u64, s3 as u64, s4 as u64];
+
+        let d0 = h64[0] * r64[0] + h64[1] * s64[3] + h64[2] * s64[2] + h64[3] * s64[1] + h64[4] * s64[0];
+        let d1 = h64[0] * r64[1] + h64[1] * r64[0] + h64[2] * s64[3] + h64[3] * s64[2] + h64[4] * s64[1];
+        let d2 = h64[0] * r64[2] + h64[1] * r64[1] + h64[2] * r64[0] + h64[3] * s64[3] + h64[4] * s64[2];
+        let d3 = h64[0] * r64[3] + h64[1] * r64[2] + h64[2] * r64[1] + h64[3] * r64[0] + h64[4] * s64[3];
+        let d4 = h64[0] * r64[4] + h64[1] * r64[3] + h64[2] * r64[2] + h64[3] * r64[1] + h64[4] * r64[0];
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d = [d0, d1, d2, d3, d4];
+        c = d[0] >> 26;
+        d[1] += c;
+        let mut hh = [0u32; 5];
+        hh[0] = (d[0] & 0x3ffffff) as u32;
+        c = d[1] >> 26;
+        d[2] += c;
+        hh[1] = (d[1] & 0x3ffffff) as u32;
+        c = d[2] >> 26;
+        d[3] += c;
+        hh[2] = (d[2] & 0x3ffffff) as u32;
+        c = d[3] >> 26;
+        d[4] += c;
+        hh[3] = (d[3] & 0x3ffffff) as u32;
+        c = d[4] >> 26;
+        hh[4] = (d[4] & 0x3ffffff) as u32;
+        hh[0] += (c * 5) as u32;
+        let c2 = hh[0] >> 26;
+        hh[0] &= 0x3ffffff;
+        hh[1] += c2;
+
+        self.h = hh;
+    }
+
+    /// Absorb message data.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let block: [u8; 16] = data[..16].try_into().unwrap();
+            self.block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish, returning the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.block(&block, true);
+        }
+        // Full carry and reduction mod 2^130 - 5.
+        let mut h = self.h;
+        let mut c: u32;
+        c = h[1] >> 26;
+        h[1] &= 0x3ffffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ffffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ffffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ffffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ffffff;
+        h[1] += c;
+
+        // Compute h + -p and select.
+        let mut g = [0u32; 5];
+        let mut carry = 5u32;
+        for i in 0..5 {
+            let t = h[i].wrapping_add(carry);
+            carry = t >> 26;
+            g[i] = t & 0x3ffffff;
+        }
+        g[4] = g[4].wrapping_sub(1 << 26);
+
+        let mask = (g[4] >> 31).wrapping_sub(1); // all-ones if g >= p
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // Serialize h and add s (the pad) mod 2^128.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+
+        let mut f: u64;
+        let mut out = [0u8; TAG_LEN];
+        f = h0 as u64 + self.pad[0] as u64;
+        out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h1 as u64 + self.pad[1] as u64 + (f >> 32);
+        out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h2 as u64 + self.pad[2] as u64 + (f >> 32);
+        out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h3 as u64 + self.pad[3] as u64 + (f >> 32);
+        out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        out
+    }
+}
+
+/// One-shot Poly1305.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2.
+    #[test]
+    fn rfc8439_tag() {
+        let key: [u8; 32] = unhex(
+            "85d6be7857556d337f4452fe42d506a8\
+             0103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            poly1305(&key, msg).to_vec(),
+            unhex("a8061dc1305136c6c22b8baf0c0127a9")
+        );
+    }
+
+    // RFC 8439 appendix A.3 test vector 2 (r = 0 edge case covered by #1,
+    // this one exercises a nontrivial r with long text).
+    #[test]
+    fn rfc8439_a3_vector3() {
+        let key: [u8; 32] = unhex(
+            "36e5f6b5c5e06070f0efca96227a863e\
+             00000000000000000000000000000000",
+        )
+        .try_into()
+        .unwrap();
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        assert_eq!(
+            poly1305(&key, msg).to_vec(),
+            unhex("f3477e7cd95417af89a6b8794c310cf0")
+        );
+    }
+
+    // RFC 8439 appendix A.3 test vector 11-style edge: wraparound behavior.
+    #[test]
+    fn edge_full_block_of_ff() {
+        // Vector 4 from A.3: r with all bits of interest, msg of 0xff.
+        let key: [u8; 32] = unhex(
+            "1c9240a5eb55d38af333888604f6b5f0\
+             473917c1402b80099dca5cbc207075c0",
+        )
+        .try_into()
+        .unwrap();
+        let msg = unhex(
+            "2754776173206272696c6c69672c2061\
+             6e642074686520736c6974687920746f\
+             7665730a446964206779726520616e64\
+             2067696d626c6520696e207468652077\
+             6162653a0a416c6c206d696d73792077\
+             6572652074686520626f726f676f7665\
+             732c0a416e6420746865206d6f6d6520\
+             7261746873206f757467726162652e",
+        );
+        assert_eq!(
+            poly1305(&key, &msg).to_vec(),
+            unhex("4541669a7eaaee61e708dc7cbcc5eb62")
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let msg: Vec<u8> = (0..100u8).collect();
+        for split in [0, 1, 15, 16, 17, 50, 100] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), poly1305(&key, &msg), "split {split}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! RC4 and the Shadowsocks `rc4-md5` construction.
+//!
+//! `rc4-md5` derives a per-stream RC4 key as `MD5(key || IV)` with a
+//! 16-byte key and 16-byte IV. It is one of the legacy stream methods the
+//! paper's Fig 10a covers under the 16-byte-IV row.
+
+use crate::md5::Md5;
+
+/// RC4 keystream generator.
+#[derive(Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl Rc4 {
+    /// Key-schedule an RC4 instance. `key` must be 1–256 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or oversized key.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "RC4 key must be 1-256 bytes"
+        );
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j = 0u8;
+        for i in 0..256 {
+            j = j
+                .wrapping_add(s[i])
+                .wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// XOR the keystream into `data` in place.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            self.i = self.i.wrapping_add(1);
+            self.j = self.j.wrapping_add(self.s[self.i as usize]);
+            self.s.swap(self.i as usize, self.j as usize);
+            let k = self.s
+                [(self.s[self.i as usize].wrapping_add(self.s[self.j as usize])) as usize];
+            *byte ^= k;
+        }
+    }
+}
+
+/// Build the `rc4-md5` per-stream cipher: RC4 keyed with `MD5(key || iv)`.
+pub fn rc4_md5(key: &[u8], iv: &[u8]) -> Rc4 {
+    let mut h = Md5::new();
+    h.update(key);
+    h.update(iv);
+    Rc4::new(&h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 6229 test vectors: keystream prefixes for known keys.
+    #[test]
+    fn rfc6229_40bit_key() {
+        let mut c = Rc4::new(&unhex("0102030405"));
+        let mut ks = [0u8; 16];
+        c.apply(&mut ks);
+        assert_eq!(ks.to_vec(), unhex("b2396305f03dc027ccc3524a0a1118a8"));
+    }
+
+    #[test]
+    fn rfc6229_128bit_key() {
+        let mut c = Rc4::new(&unhex("0102030405060708090a0b0c0d0e0f10"));
+        let mut ks = [0u8; 16];
+        c.apply(&mut ks);
+        assert_eq!(ks.to_vec(), unhex("9ac7cc9a609d1ef7b2932899cde41b97"));
+    }
+
+    // Classic "Key"/"Plaintext" vector.
+    #[test]
+    fn classic_vector() {
+        let mut c = Rc4::new(b"Key");
+        let mut data = b"Plaintext".to_vec();
+        c.apply(&mut data);
+        assert_eq!(data, unhex("bbf316e8d940af0ad3"));
+    }
+
+    #[test]
+    fn rc4_md5_roundtrip_and_iv_separation() {
+        let key = [0x55u8; 16];
+        let plain = b"hello shadowsocks".to_vec();
+        let mut a = plain.clone();
+        rc4_md5(&key, &[1u8; 16]).apply(&mut a);
+        let mut b = plain.clone();
+        rc4_md5(&key, &[2u8; 16]).apply(&mut b);
+        assert_ne!(a, b, "different IVs give different streams");
+        let mut dec = a.clone();
+        rc4_md5(&key, &[1u8; 16]).apply(&mut dec);
+        assert_eq!(dec, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "RC4 key must be 1-256 bytes")]
+    fn rejects_empty_key() {
+        let _ = Rc4::new(&[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+use sscrypto::aead::Aead;
+use sscrypto::cfb::{AesCfb, Direction};
+use sscrypto::chacha20::{ChaCha20, ChaCha20Legacy};
+use sscrypto::ctr::AesCtr;
+use sscrypto::gcm::AesGcm;
+use sscrypto::hmac::{hmac, Hmac};
+use sscrypto::md5::{md5, Md5};
+use sscrypto::sha1::{sha1, Sha1};
+use sscrypto::sha256::{sha256, Sha256};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental hashing over any split equals one-shot hashing.
+    #[test]
+    fn hashes_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..3000),
+        split in any::<usize>(),
+    ) {
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut m = Md5::new();
+        m.update(&data[..cut]);
+        m.update(&data[cut..]);
+        prop_assert_eq!(m.finalize(), md5(&data));
+
+        let mut s = Sha1::new();
+        s.update(&data[..cut]);
+        s.update(&data[cut..]);
+        prop_assert_eq!(s.finalize(), sha1(&data));
+
+        let mut s = Sha256::new();
+        s.update(&data[..cut]);
+        s.update(&data[cut..]);
+        prop_assert_eq!(s.finalize(), sha256(&data));
+    }
+
+    /// HMAC split-update equals one-shot, any key length.
+    #[test]
+    fn hmac_incremental(
+        key in proptest::collection::vec(any::<u8>(), 0..200),
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+        split in any::<usize>(),
+    ) {
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut m = Hmac::<Sha1>::new(&key);
+        m.update(&data[..cut]);
+        m.update(&data[cut..]);
+        prop_assert_eq!(m.finalize(), hmac::<Sha1>(&key, &data));
+    }
+
+    /// CTR is an involution: applying twice restores the plaintext,
+    /// regardless of chunking.
+    #[test]
+    fn ctr_involution(
+        key in proptest::collection::vec(any::<u8>(), 16..=16),
+        iv in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..2000),
+        chunk in 1usize..257,
+    ) {
+        let mut buf = data.clone();
+        let mut enc = AesCtr::new(&key, &iv);
+        for part in buf.chunks_mut(chunk) {
+            enc.apply(part);
+        }
+        let mut dec = AesCtr::new(&key, &iv);
+        dec.apply(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// CFB roundtrips with independent chunkings on each side.
+    #[test]
+    fn cfb_roundtrip(
+        key in proptest::collection::vec(any::<u8>(), 32..=32),
+        iv in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..1500),
+        echunk in 1usize..130,
+        dchunk in 1usize..130,
+    ) {
+        let mut ct = data.clone();
+        let mut enc = AesCfb::new(&key, &iv, Direction::Encrypt);
+        for part in ct.chunks_mut(echunk) {
+            enc.apply(part);
+        }
+        let mut pt = ct;
+        let mut dec = AesCfb::new(&key, &iv, Direction::Decrypt);
+        for part in pt.chunks_mut(dchunk) {
+            dec.apply(part);
+        }
+        prop_assert_eq!(pt, data);
+    }
+
+    /// ChaCha20 (both variants) involution under arbitrary chunking.
+    #[test]
+    fn chacha_involution(
+        key in any::<[u8; 32]>(),
+        nonce12 in any::<[u8; 12]>(),
+        nonce8 in any::<[u8; 8]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..1500),
+        chunk in 1usize..200,
+    ) {
+        let mut buf = data.clone();
+        let mut enc = ChaCha20::new(&key, &nonce12, 0);
+        for part in buf.chunks_mut(chunk) {
+            enc.apply(part);
+        }
+        let mut dec = ChaCha20::new(&key, &nonce12, 0);
+        dec.apply(&mut buf);
+        prop_assert_eq!(&buf, &data);
+
+        let mut enc = ChaCha20Legacy::new(&key, &nonce8);
+        for part in buf.chunks_mut(chunk) {
+            enc.apply(part);
+        }
+        let mut dec = ChaCha20Legacy::new(&key, &nonce8);
+        dec.apply(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// GCM: seal/open roundtrip with arbitrary AAD; any tag-bit flip is
+    /// rejected.
+    #[test]
+    fn gcm_roundtrip_and_tag_integrity(
+        key in proptest::collection::vec(any::<u8>(), 16..=16),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        flip_bit in 0usize..128,
+    ) {
+        let gcm = AesGcm::new(&key);
+        let mut buf = data.clone();
+        let tag = gcm.seal(&nonce, &aad, &mut buf);
+        // Tamper with the tag: must fail.
+        let mut bad_tag = tag;
+        bad_tag[flip_bit / 8] ^= 1 << (flip_bit % 8);
+        let mut tampered = buf.clone();
+        prop_assert!(gcm.open(&nonce, &aad, &mut tampered, &bad_tag).is_err());
+        // Honest open succeeds and restores the plaintext.
+        gcm.open(&nonce, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    /// EVP_BytesToKey prefix property for arbitrary passwords.
+    #[test]
+    fn evp_prefix_property(
+        pw in proptest::collection::vec(any::<u8>(), 0..64),
+        short in 1usize..48,
+        long in 1usize..48,
+    ) {
+        let (a, b) = (short.min(long), short.max(long));
+        let ka = sscrypto::kdf::evp_bytes_to_key(&pw, a);
+        let kb = sscrypto::kdf::evp_bytes_to_key(&pw, b);
+        prop_assert_eq!(&kb[..a], &ka[..]);
+    }
+
+    /// HKDF output length is exact for any requested length.
+    #[test]
+    fn hkdf_output_length(
+        salt in proptest::collection::vec(any::<u8>(), 0..64),
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        len in 1usize..200,
+    ) {
+        let out = sscrypto::hkdf::hkdf::<Sha1>(&salt, &ikm, b"info", len);
+        prop_assert_eq!(out.len(), len);
+    }
+}

@@ -1,0 +1,186 @@
+//! A browsing-session driver: the closest model of the paper's
+//! Firefox-over-Outline workload (§3.1). Each *session* opens several
+//! connections to a site (HTML page plus subresources), with
+//! think-time between requests — producing the bursty connection
+//! pattern real browsing pushes through a proxy.
+
+use crate::sites::{pick, Scheme, Site};
+use netsim::app::{App, AppEvent, Ctx};
+use netsim::conn::{ConnId, TcpTuning};
+use netsim::packet::Ipv4;
+use netsim::time::Duration;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Statistics a browse driver accumulates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BrowseStats {
+    /// Sessions started.
+    pub sessions: u64,
+    /// Connections opened.
+    pub connections: u64,
+    /// Request bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// A browser driving plain (non-proxied) connections to a web host —
+/// the control traffic of the experiments. For proxied browsing, the
+/// experiments compose [`crate::RandomDataClient`]-style drivers with
+/// `shadowsocks::ClientSession` (see `experiments::runs`); this driver
+/// produces the *shape* of browsing (bursts, think time, subresources).
+pub struct BrowseDriver {
+    /// Destination host standing in for "the web".
+    pub web: Ipv4,
+    /// Source host to browse from.
+    pub client: Ipv4,
+    /// Exclude sites censored in China (the paper's §10 mitigation).
+    pub exclude_censored: bool,
+    /// Connections per session (page + subresources).
+    pub conns_per_session: (u8, u8),
+    /// Think time between in-session requests.
+    pub think: (u64, u64),
+    /// Accumulated statistics.
+    pub stats: BrowseStats,
+    in_flight: HashMap<ConnId, &'static Site>,
+    /// Timer token for scheduling in-session connections.
+    next_token: u64,
+}
+
+impl BrowseDriver {
+    /// Create a driver.
+    pub fn new(client: Ipv4, web: Ipv4) -> BrowseDriver {
+        BrowseDriver {
+            web,
+            client,
+            exclude_censored: false,
+            conns_per_session: (2, 6),
+            think: (1, 10),
+            stats: BrowseStats::default(),
+            in_flight: HashMap::new(),
+            next_token: 1,
+        }
+    }
+
+    /// Kick off one browsing session (call via a timer or externally
+    /// with `sim.set_timer_at(at, app, 0)`; token 0 starts a session).
+    fn start_session(&mut self, ctx: &mut Ctx) {
+        self.stats.sessions += 1;
+        let (lo, hi) = self.conns_per_session;
+        let n = ctx.rng.gen_range(lo..=hi);
+        for i in 0..n {
+            let (tlo, thi) = self.think;
+            let delay = Duration::from_secs(ctx.rng.gen_range(tlo..=thi) * i as u64);
+            let token = self.next_token;
+            self.next_token += 1;
+            ctx.set_timer(delay, token);
+        }
+    }
+
+    fn open_one(&mut self, ctx: &mut Ctx) {
+        let site = pick(ctx.rng, self.exclude_censored);
+        let port = match site.scheme {
+            Scheme::Https => 443,
+            Scheme::Http => 80,
+        };
+        let conn = ctx.connect(self.client, (self.web, port), TcpTuning::default());
+        self.in_flight.insert(conn, site);
+        self.stats.connections += 1;
+    }
+}
+
+impl App for BrowseDriver {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Timer { token: 0 } => self.start_session(ctx),
+            AppEvent::Timer { .. } => self.open_one(ctx),
+            AppEvent::Connected { conn } => {
+                let Some(site) = self.in_flight.get(&conn) else {
+                    return;
+                };
+                let request = match site.scheme {
+                    Scheme::Https => crate::tls_client_hello(site.first_len, ctx.rng),
+                    Scheme::Http => crate::http_request(site.host, site.first_len, ctx.rng),
+                };
+                self.stats.bytes_sent += request.len() as u64;
+                ctx.send(conn, request);
+            }
+            AppEvent::Data { conn, .. } => {
+                // First response bytes: done with this resource.
+                ctx.fin(conn);
+                self.in_flight.remove(&conn);
+            }
+            AppEvent::PeerFin { conn } | AppEvent::PeerRst { conn } => {
+                self.in_flight.remove(&conn);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::capture::Capture;
+    use netsim::host::HostConfig;
+    use netsim::time::SimTime;
+    use netsim::{SimConfig, Simulator};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Web;
+    impl App for Web {
+        fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+            if let AppEvent::Data { conn, .. } = ev {
+                ctx.send(conn, b"HTTP/1.1 200 OK\r\n\r\n".to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_produce_bursts_of_protocol_shaped_requests() {
+        let mut sim = Simulator::new(SimConfig::default(), 71);
+        let web = sim.add_host(HostConfig::outside("web"));
+        let client = sim.add_host(HostConfig::china("client"));
+        let cap = sim.add_capture(Capture::all());
+        let wapp = sim.add_app(Box::new(Web));
+        sim.listen((web, 80), wapp);
+        sim.listen((web, 443), wapp);
+
+        let driver = Rc::new(RefCell::new(0u64));
+        let _ = driver;
+        let app = sim.add_app(Box::new(BrowseDriver::new(client, web)));
+        // Three sessions, spaced a minute apart.
+        for i in 0..3 {
+            sim.set_timer_at(
+                SimTime::ZERO + Duration::from_secs(60 * i),
+                app,
+                0,
+            );
+        }
+        sim.run();
+
+        let firsts = sim.capture(cap).first_data_per_conn();
+        assert!(firsts.len() >= 6, "{} requests", firsts.len());
+        // Every request is protocol-shaped: TLS hello or HTTP method.
+        for p in &firsts {
+            let tls = p.payload[0] == 0x16;
+            let http = p.payload.starts_with(b"GET ");
+            assert!(tls || http, "unshaped request");
+        }
+    }
+
+    #[test]
+    fn censored_exclusion_respected() {
+        let mut sim = Simulator::new(SimConfig::default(), 72);
+        let web = sim.add_host(HostConfig::outside("web"));
+        let client = sim.add_host(HostConfig::china("client"));
+        let wapp = sim.add_app(Box::new(Web));
+        sim.listen((web, 80), wapp);
+        sim.listen((web, 443), wapp);
+        let mut d = BrowseDriver::new(client, web);
+        d.exclude_censored = true;
+        let app = sim.add_app(Box::new(d));
+        sim.set_timer_at(SimTime::ZERO, app, 0);
+        sim.run(); // no assertion on hosts (they're request contents); just no panic
+    }
+}

@@ -1,0 +1,218 @@
+//! netsim driver applications.
+//!
+//! [`RandomDataClient`] is the Table 4 client: one connection, one
+//! payload of specified length/entropy, then silence until the peer or
+//! a local timer closes. [`PayloadOnceClient`] generalizes it to an
+//! arbitrary payload factory, which is how browse and HTTP drivers are
+//! built.
+
+use crate::payload::entropy_payload;
+use netsim::app::{App, AppEvent, Ctx};
+use netsim::conn::ConnId;
+use netsim::time::Duration;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Sampling spec for one dimension: fixed or uniform range.
+#[derive(Clone, Copy, Debug)]
+pub enum Sample {
+    /// Always this value.
+    Fixed(f64),
+    /// Uniform in `[lo, hi]`.
+    Uniform(f64, f64),
+}
+
+impl Sample {
+    /// Draw a value.
+    pub fn draw(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            Sample::Fixed(v) => v,
+            Sample::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+        }
+    }
+}
+
+/// The §4.1 random-data client: per connection, sends a single payload
+/// with sampled length and entropy, then waits for `close_after` and
+/// closes.
+pub struct RandomDataClient {
+    /// Payload length distribution (bytes).
+    pub length: Sample,
+    /// Per-byte entropy distribution (bits).
+    pub entropy: Sample,
+    /// How long to keep the connection before FIN.
+    pub close_after: Duration,
+    sent: HashMap<ConnId, (usize, f64)>,
+}
+
+impl RandomDataClient {
+    /// Exp 1: length uniform \[1, 1000\], entropy > 7.
+    pub fn exp1() -> RandomDataClient {
+        RandomDataClient::new(Sample::Uniform(1.0, 1000.0), Sample::Uniform(7.0, 8.0))
+    }
+
+    /// Exp 2: length uniform \[1, 1000\], entropy < 2.
+    pub fn exp2() -> RandomDataClient {
+        RandomDataClient::new(Sample::Uniform(1.0, 1000.0), Sample::Uniform(0.0, 2.0))
+    }
+
+    /// Exp 3: length uniform \[1, 2000\], entropy \[0, 8\].
+    pub fn exp3() -> RandomDataClient {
+        RandomDataClient::new(Sample::Uniform(1.0, 2000.0), Sample::Uniform(0.0, 8.0))
+    }
+
+    /// Custom spec.
+    pub fn new(length: Sample, entropy: Sample) -> RandomDataClient {
+        RandomDataClient {
+            length,
+            entropy,
+            close_after: Duration::from_secs(15),
+            sent: HashMap::new(),
+        }
+    }
+
+    /// What was sent on a connection (length, entropy target), for
+    /// experiment bookkeeping.
+    pub fn sent_spec(&self, conn: ConnId) -> Option<(usize, f64)> {
+        self.sent.get(&conn).copied()
+    }
+}
+
+impl App for RandomDataClient {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Connected { conn } => {
+                let len = self.length.draw(ctx.rng).round().max(1.0) as usize;
+                let bits = self.entropy.draw(ctx.rng);
+                let payload = entropy_payload(len, bits, ctx.rng);
+                self.sent.insert(conn, (len, bits));
+                ctx.send(conn, payload);
+                ctx.set_timer(self.close_after, conn.0);
+            }
+            AppEvent::Timer { token } => {
+                ctx.fin(ConnId(token));
+            }
+            AppEvent::PeerFin { conn } | AppEvent::PeerRst { conn } => {
+                self.sent.remove(&conn);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A generic one-shot client: on connect, sends `factory(rng)` and then
+/// closes after a hold time. Useful for HTTP/TLS control traffic.
+pub struct PayloadOnceClient {
+    factory: Box<dyn FnMut(&mut rand::rngs::StdRng) -> Vec<u8>>,
+    /// Hold time before FIN.
+    pub close_after: Duration,
+}
+
+impl PayloadOnceClient {
+    /// Build from a payload factory.
+    pub fn new(
+        factory: impl FnMut(&mut rand::rngs::StdRng) -> Vec<u8> + 'static,
+    ) -> PayloadOnceClient {
+        PayloadOnceClient {
+            factory: Box::new(factory),
+            close_after: Duration::from_secs(15),
+        }
+    }
+}
+
+impl App for PayloadOnceClient {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Connected { conn } => {
+                let payload = (self.factory)(ctx.rng);
+                ctx.send(conn, payload);
+                ctx.set_timer(self.close_after, conn.0);
+            }
+            AppEvent::Timer { token } => ctx.fin(ConnId(token)),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::capture::Capture;
+    use netsim::conn::TcpTuning;
+    use netsim::host::HostConfig;
+    use netsim::time::SimTime;
+    use netsim::{SimConfig, Simulator};
+
+    struct Sink;
+    impl App for Sink {
+        fn on_event(&mut self, _: AppEvent, _: &mut Ctx) {}
+    }
+
+    #[test]
+    fn random_data_client_sends_one_payload_per_conn() {
+        let mut sim = Simulator::new(SimConfig::default(), 3);
+        let server = sim.add_host(HostConfig::outside("sink"));
+        let client = sim.add_host(HostConfig::china("client"));
+        let cap = sim.add_capture(Capture::all());
+        let sink = sim.add_app(Box::new(Sink));
+        sim.listen((server, 9), sink);
+        let app = sim.add_app(Box::new(RandomDataClient::exp1()));
+        for i in 0..50 {
+            sim.connect_at(
+                SimTime::ZERO + Duration::from_secs(i),
+                app,
+                client,
+                (server, 9),
+                TcpTuning::default(),
+            );
+        }
+        sim.run();
+        let firsts = sim.capture(cap).first_data_per_conn();
+        assert_eq!(firsts.len(), 50);
+        for p in &firsts {
+            assert!((1..=1000).contains(&p.payload.len()));
+            // Entropy > 7 is only reachable for payloads ≥ 2^7 bytes.
+            if p.payload.len() >= 1000 {
+                assert!(analysis::shannon_entropy(&p.payload) > 6.5);
+            }
+        }
+        // The client closes every connection itself (sink never does).
+        let client_fins = sim
+            .capture(cap)
+            .packets()
+            .iter()
+            .filter(|p| p.flags.fin && p.src.0 == client)
+            .count();
+        assert_eq!(client_fins, 50);
+    }
+
+    #[test]
+    fn exp_specs_differ() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let e1 = RandomDataClient::exp1().entropy.draw(&mut rng);
+        assert!(e1 >= 7.0);
+        let e2 = RandomDataClient::exp2().entropy.draw(&mut rng);
+        assert!(e2 < 2.0);
+        let l3 = RandomDataClient::exp3().length.draw(&mut rng);
+        assert!((1.0..=2000.0).contains(&l3));
+    }
+
+    #[test]
+    fn payload_once_client_delivers_factory_output() {
+        let mut sim = Simulator::new(SimConfig::default(), 4);
+        let server = sim.add_host(HostConfig::outside("sink"));
+        let client = sim.add_host(HostConfig::china("client"));
+        let cap = sim.add_capture(Capture::all());
+        let sink = sim.add_app(Box::new(Sink));
+        sim.listen((server, 80), sink);
+        let app = sim.add_app(Box::new(PayloadOnceClient::new(|rng| {
+            crate::payload::http_request("example.com", 300, rng)
+        })));
+        sim.connect_at(SimTime::ZERO, app, client, (server, 80), TcpTuning::default());
+        sim.run();
+        let firsts = sim.capture(cap).first_data_per_conn();
+        assert_eq!(firsts.len(), 1);
+        assert!(firsts[0].payload.starts_with(b"GET "));
+    }
+}

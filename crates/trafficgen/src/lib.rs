@@ -1,0 +1,24 @@
+//! # trafficgen — workload generators
+//!
+//! The measurement experiments of §3.1 and §4.1 need traffic:
+//!
+//! * genuine browsing through a Shadowsocks tunnel (curl/Firefox over
+//!   an Alexa-like site list);
+//! * the **random-data clients** of Table 4, which send one payload per
+//!   connection with a *specified length and Shannon entropy*;
+//! * plaintext control traffic (HTTP requests, TLS ClientHellos) that
+//!   a competent passive detector must ignore.
+//!
+//! This crate builds all of those, both as pure payload generators and
+//! as `netsim` driver applications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browse;
+pub mod drivers;
+pub mod payload;
+pub mod sites;
+
+pub use drivers::RandomDataClient;
+pub use payload::{entropy_payload, http_request, tls_client_hello};

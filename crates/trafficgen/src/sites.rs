@@ -1,0 +1,93 @@
+//! An Alexa-top-sites-like catalogue for browse drivers.
+//!
+//! The paper's clients fetched `https://www.wikipedia.org`,
+//! `http://example.com` and `https://gfw.report` through the tunnel (§3.1),
+//! and an Outline client browsed "a subset of the Alexa top 1 million
+//! sites that is censored in China". We model a catalogue of sites with
+//! first-request shapes (HTTPS ClientHello vs HTTP GET) and response
+//! sizes.
+
+use rand::Rng;
+
+/// Whether the first request is a TLS ClientHello or plaintext HTTP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// TLS on port 443.
+    Https,
+    /// Plaintext on port 80.
+    Http,
+}
+
+/// One site in the catalogue.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Hostname.
+    pub host: &'static str,
+    /// Scheme of the first request.
+    pub scheme: Scheme,
+    /// Typical first-request payload length (ClientHello or GET).
+    pub first_len: usize,
+    /// Typical response size in bytes.
+    pub response_len: usize,
+    /// Censored in China (drives the §10-style ethics filtering).
+    pub censored: bool,
+}
+
+/// The browse catalogue: the paper's three measurement sites plus an
+/// Alexa-like mix.
+pub const SITES: &[Site] = &[
+    Site { host: "www.wikipedia.org", scheme: Scheme::Https, first_len: 517, response_len: 78_000, censored: true },
+    Site { host: "example.com", scheme: Scheme::Http, first_len: 78, response_len: 1_256, censored: false },
+    Site { host: "gfw.report", scheme: Scheme::Https, first_len: 330, response_len: 12_000, censored: true },
+    Site { host: "www.google.com", scheme: Scheme::Https, first_len: 517, response_len: 48_000, censored: true },
+    Site { host: "www.youtube.com", scheme: Scheme::Https, first_len: 517, response_len: 400_000, censored: true },
+    Site { host: "www.baidu.com", scheme: Scheme::Https, first_len: 260, response_len: 120_000, censored: false },
+    Site { host: "www.qq.com", scheme: Scheme::Http, first_len: 102, response_len: 180_000, censored: false },
+    Site { host: "twitter.com", scheme: Scheme::Https, first_len: 412, response_len: 90_000, censored: true },
+    Site { host: "www.facebook.com", scheme: Scheme::Https, first_len: 517, response_len: 110_000, censored: true },
+    Site { host: "www.nytimes.com", scheme: Scheme::Https, first_len: 478, response_len: 250_000, censored: true },
+    Site { host: "www.bbc.com", scheme: Scheme::Https, first_len: 441, response_len: 160_000, censored: true },
+    Site { host: "www.jd.com", scheme: Scheme::Http, first_len: 95, response_len: 210_000, censored: false },
+];
+
+/// Pick a random site, optionally excluding censored ones — the §10
+/// mitigation (the authors removed censored sites from the in-China
+/// browse list after 45 hours).
+pub fn pick(rng: &mut impl Rng, exclude_censored: bool) -> &'static Site {
+    loop {
+        let s = &SITES[rng.gen_range(0..SITES.len())];
+        if !exclude_censored || !s.censored {
+            return s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalogue_has_both_schemes_and_censorship() {
+        assert!(SITES.iter().any(|s| s.scheme == Scheme::Http));
+        assert!(SITES.iter().any(|s| s.scheme == Scheme::Https));
+        assert!(SITES.iter().any(|s| s.censored));
+        assert!(SITES.iter().any(|s| !s.censored));
+    }
+
+    #[test]
+    fn exclusion_respects_censorship() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert!(!pick(&mut rng, true).censored);
+        }
+    }
+
+    #[test]
+    fn papers_sites_are_present() {
+        for host in ["www.wikipedia.org", "example.com", "gfw.report"] {
+            assert!(SITES.iter().any(|s| s.host == host), "{host}");
+        }
+    }
+}

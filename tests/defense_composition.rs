@@ -1,0 +1,132 @@
+//! Cross-crate defense tests: client-side first-flight shaping (the
+//! §11 OutlineVPN direction) measured against the full GFW pipeline,
+//! and probe reaction taxonomy over the wire.
+
+use gfwsim::defense::shaping::{shape_first_flight, FirstFlightPolicy};
+use gfwsim::experiments::runs::{build_ss_world, SsRunConfig};
+use gfwsim::gfw::probe::Reaction;
+use gfwsim::shadowsocks::{ClientSession, Profile, ServerConfig, TargetAddr};
+use gfwsim::sscrypto::method::Method;
+use netsim::app::{App, AppEvent, Ctx};
+use netsim::conn::{ConnId, TcpTuning};
+use netsim::time::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Shadowsocks driver that applies a first-flight policy at the client.
+struct ShapedDriver {
+    config: ServerConfig,
+    target: TargetAddr,
+    policy: FirstFlightPolicy,
+    rng: StdRng,
+    sessions: HashMap<ConnId, ClientSession>,
+}
+
+impl App for ShapedDriver {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Connected { conn } => {
+                let mut s =
+                    ClientSession::new(&self.config, self.target.clone(), &mut self.rng);
+                let body_len = gfwsim::experiments::runs::attractive_payload_len(
+                    self.config.method,
+                );
+                let mut body = vec![0u8; body_len];
+                self.rng.fill(&mut body[..]);
+                let wire = s.send(&body);
+                self.sessions.insert(conn, s);
+                for segment in shape_first_flight(self.policy, &wire, &mut self.rng) {
+                    ctx.send(conn, segment);
+                }
+                ctx.set_timer(Duration::from_secs(20), conn.0);
+            }
+            AppEvent::Timer { token } => {
+                ctx.fin(ConnId(token));
+                self.sessions.remove(&ConnId(token));
+            }
+            AppEvent::PeerFin { conn } | AppEvent::PeerRst { conn } => {
+                self.sessions.remove(&conn);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn probes_with_policy(policy: FirstFlightPolicy, seed: u64) -> usize {
+    let cfg = SsRunConfig {
+        profile: Profile::LIBEV_NEW,
+        method: Method::ChaCha20IetfPoly1305,
+        connections: 0,
+        fleet_pool: 400,
+        nr_min_gap: Duration::from_mins(4),
+        seed,
+        ..Default::default()
+    };
+    let mut world = build_ss_world(&cfg);
+    let ss_config = ServerConfig::new(cfg.method, "run-password", cfg.profile);
+    let driver = world.sim.add_app(Box::new(ShapedDriver {
+        config: ss_config,
+        target: TargetAddr::Ipv4([99, 99, 99, 99], 443),
+        policy,
+        rng: StdRng::seed_from_u64(seed ^ 0xAB),
+        sessions: HashMap::new(),
+    }));
+    for i in 0..500u64 {
+        world.sim.connect_at(
+            SimTime::ZERO + Duration::from_secs(20 * i),
+            driver,
+            world.client_ip,
+            (world.server_ip, 8388),
+            TcpTuning::default(),
+        );
+    }
+    world.sim.run();
+    let n = world.handle.state.borrow().probes().len();
+    n
+}
+
+#[test]
+fn client_side_chopping_defeats_the_length_feature() {
+    let single = probes_with_policy(FirstFlightPolicy::Single, 61);
+    let chopped = probes_with_policy(FirstFlightPolicy::Chop { size: 64 }, 61);
+    assert!(single > 10, "control must be probed: {single}");
+    assert_eq!(chopped, 0, "chopped first flights must draw no probes");
+}
+
+#[test]
+fn split_at_small_prefix_also_escapes() {
+    // Splitting so the first segment is <161 bytes takes the first
+    // *packet* out of the replay-eligible window.
+    let split = probes_with_policy(FirstFlightPolicy::SplitAt { lo: 40, hi: 120 }, 62);
+    assert_eq!(split, 0, "split-prefix flights must draw no probes");
+}
+
+#[test]
+fn probe_timeouts_are_recorded_as_timeout_reactions() {
+    // Against a silent (post-fix) server, probes resolve as Timeout via
+    // the prober's own 5-9 s deadline.
+    let cfg = SsRunConfig {
+        profile: Profile::OUTLINE_1_0_7,
+        method: Method::ChaCha20IetfPoly1305,
+        connections: 400,
+        conn_interval: Duration::from_secs(20),
+        fleet_pool: 400,
+        nr_min_gap: Duration::from_mins(4),
+        seed: 63,
+        ..Default::default()
+    };
+    let res = gfwsim::experiments::runs::shadowsocks_run(&cfg);
+    let random_probes: Vec<_> = res
+        .probes
+        .iter()
+        .filter(|p| !p.kind.is_replay() && p.reaction.is_some())
+        .collect();
+    assert!(!random_probes.is_empty());
+    assert!(
+        random_probes
+            .iter()
+            .all(|p| p.reaction == Some(Reaction::Timeout)),
+        "silent server: every random probe times out"
+    );
+}
