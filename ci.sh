@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 verification gate: format, clippy, invariant lint, build, test.
+# Every PR must pass this script from a clean checkout.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> gfw-lint"
+cargo run -q -p gfw-lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "ci.sh: all gates passed"

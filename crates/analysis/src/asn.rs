@@ -115,9 +115,7 @@ pub fn paper_total() -> u32 {
 /// Attribute an address to an AS by /16 prefix.
 pub fn lookup(addr: Ipv4) -> Option<&'static AsEntry> {
     let p = addr.prefix16();
-    AS_TABLE
-        .iter()
-        .find(|e| e.prefixes.iter().any(|&pre| pre == p))
+    AS_TABLE.iter().find(|e| e.prefixes.contains(&p))
 }
 
 #[cfg(test)]

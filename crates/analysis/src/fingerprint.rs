@@ -60,10 +60,7 @@ pub fn ttl_range(cap: &Capture, dst: Ipv4) -> Option<(u8, u8)> {
     if ttls.is_empty() {
         return None;
     }
-    Some((
-        *ttls.iter().min().unwrap(),
-        *ttls.iter().max().unwrap(),
-    ))
+    Some((*ttls.iter().min().unwrap(), *ttls.iter().max().unwrap()))
 }
 
 /// A crude sequentiality score for IP IDs from one source: fraction of
@@ -118,7 +115,13 @@ mod tests {
     use netsim::packet::{Packet, TcpFlags};
     use netsim::time::SimTime;
 
-    fn pkt(src: (Ipv4, u16), dst: (Ipv4, u16), flags: TcpFlags, ip_id: u16, payload: &[u8]) -> Packet {
+    fn pkt(
+        src: (Ipv4, u16),
+        dst: (Ipv4, u16),
+        flags: TcpFlags,
+        ip_id: u16,
+        payload: &[u8],
+    ) -> Packet {
         Packet {
             sent_at: SimTime::ZERO,
             src,

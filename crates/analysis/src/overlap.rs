@@ -46,11 +46,7 @@ impl Venn3 {
 }
 
 /// Compute the Venn regions of three sets.
-pub fn venn3<T: Eq + Hash + Clone>(
-    a: &HashSet<T>,
-    b: &HashSet<T>,
-    c: &HashSet<T>,
-) -> Venn3 {
+pub fn venn3<T: Eq + Hash + Clone>(a: &HashSet<T>, b: &HashSet<T>, c: &HashSet<T>) -> Venn3 {
     let mut v = Venn3 {
         only_a: 0,
         only_b: 0,

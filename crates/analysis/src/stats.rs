@@ -113,7 +113,10 @@ impl Histogram {
 
 /// Count occurrences of arbitrary keys and report the top-k — Table 2's
 /// "most common prober IP addresses" and Table 3's AS counts.
-pub fn top_k<T: Eq + Hash + Clone + Ord>(items: impl IntoIterator<Item = T>, k: usize) -> Vec<(T, u64)> {
+pub fn top_k<T: Eq + Hash + Clone + Ord>(
+    items: impl IntoIterator<Item = T>,
+    k: usize,
+) -> Vec<(T, u64)> {
     let mut counts: HashMap<T, u64> = HashMap::new();
     for it in items {
         *counts.entry(it).or_insert(0) += 1;

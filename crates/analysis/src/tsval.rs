@@ -74,7 +74,7 @@ pub fn cluster(mut obs: Vec<(f64, u32)>, tolerance: f64) -> Vec<TsProcess> {
             } else {
                 tolerance
             };
-            if d <= tol && best.map_or(true, |(_, bd)| d < bd) {
+            if d <= tol && best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }

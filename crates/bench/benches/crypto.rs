@@ -89,5 +89,12 @@ fn ss_framing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, hashes, kdfs, stream_ciphers, aead_ciphers, ss_framing);
+criterion_group!(
+    benches,
+    hashes,
+    kdfs,
+    stream_ciphers,
+    aead_ciphers,
+    ss_framing
+);
 criterion_main!(benches);

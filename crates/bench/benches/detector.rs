@@ -61,8 +61,7 @@ fn replay_filters(c: &mut Criterion) {
         })
     });
     g.bench_function("timed_filter_check", |b| {
-        let mut filter =
-            defense::TimedReplayFilter::new(netsim::time::Duration::from_secs(120));
+        let mut filter = defense::TimedReplayFilter::new(netsim::time::Duration::from_secs(120));
         let mut i: u64 = 0;
         b.iter(|| {
             i += 1;

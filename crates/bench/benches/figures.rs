@@ -65,7 +65,11 @@ fn table_figures(c: &mut Criterion) {
         seed: 78,
     });
     g.bench_function("fig8_replay_lengths", |b| {
-        b.iter(|| fig8::analyze(&sink.probes, sink.triggers.len()).replay_lens.len())
+        b.iter(|| {
+            fig8::analyze(&sink.probes, sink.triggers.len())
+                .replay_lens
+                .len()
+        })
     });
 
     g.bench_function("fig10_reaction_matrices", |b| {

@@ -111,9 +111,8 @@ impl BlockingModule {
         } else {
             BlockScope::Port(server)
         };
-        let span_ns = rng.gen_range(
-            self.config.min_duration.as_nanos()..=self.config.max_duration.as_nanos(),
-        );
+        let span_ns = rng
+            .gen_range(self.config.min_duration.as_nanos()..=self.config.max_duration.as_nanos());
         let rule = BlockRule {
             scope,
             since: now,
@@ -142,7 +141,11 @@ impl BlockingModule {
 
     /// Currently active rules.
     pub fn active_rules(&self, now: SimTime) -> Vec<BlockRule> {
-        self.rules.iter().filter(|r| now < r.until).copied().collect()
+        self.rules
+            .iter()
+            .filter(|r| now < r.until)
+            .copied()
+            .collect()
     }
 
     /// All rules ever installed.
@@ -248,7 +251,9 @@ mod tests {
             ..Default::default()
         });
         let mut rng = StdRng::seed_from_u64(5);
-        assert!(m.consider(SimTime::ZERO, server(), 0.99, &mut rng).is_none());
+        assert!(m
+            .consider(SimTime::ZERO, server(), 0.99, &mut rng)
+            .is_none());
         assert_eq!(m.suppressed, 1);
     }
 

@@ -293,7 +293,10 @@ mod tests {
             c.record(server(), ProbeKind::Nr2, 221, Reaction::Timeout);
         }
         match c.verdict(server()) {
-            Verdict::LikelyShadowsocks { signature, confidence } => {
+            Verdict::LikelyShadowsocks {
+                signature,
+                confidence,
+            } => {
                 assert_eq!(signature, Signature::AllSilent);
                 assert!(confidence < 0.5);
             }

@@ -24,12 +24,36 @@ struct Band {
 }
 
 const BANDS: [Band; 6] = [
-    Band { mass: 0.22, lo_secs: MIN_DELAY_SECS, hi_secs: 1.0 },
-    Band { mass: 0.33, lo_secs: 1.0, hi_secs: 60.0 },
-    Band { mass: 0.22, lo_secs: 60.0, hi_secs: 900.0 },
-    Band { mass: 0.13, lo_secs: 900.0, hi_secs: 3600.0 },
-    Band { mass: 0.07, lo_secs: 3600.0, hi_secs: 36_000.0 },
-    Band { mass: 0.03, lo_secs: 36_000.0, hi_secs: MAX_DELAY_SECS },
+    Band {
+        mass: 0.22,
+        lo_secs: MIN_DELAY_SECS,
+        hi_secs: 1.0,
+    },
+    Band {
+        mass: 0.33,
+        lo_secs: 1.0,
+        hi_secs: 60.0,
+    },
+    Band {
+        mass: 0.22,
+        lo_secs: 60.0,
+        hi_secs: 900.0,
+    },
+    Band {
+        mass: 0.13,
+        lo_secs: 900.0,
+        hi_secs: 3600.0,
+    },
+    Band {
+        mass: 0.07,
+        lo_secs: 3600.0,
+        hi_secs: 36_000.0,
+    },
+    Band {
+        mass: 0.03,
+        lo_secs: 36_000.0,
+        hi_secs: MAX_DELAY_SECS,
+    },
 ];
 
 /// The Fig 7 delay distribution.
@@ -85,9 +109,8 @@ mod tests {
         let samples: Vec<f64> = (0..50_000)
             .map(|_| m.sample(&mut rng).as_secs_f64())
             .collect();
-        let frac_below = |t: f64| {
-            samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64
-        };
+        let frac_below =
+            |t: f64| samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64;
         assert!(frac_below(1.0) > 0.20, "≤1s: {}", frac_below(1.0));
         assert!(frac_below(60.0) > 0.50, "≤1min: {}", frac_below(60.0));
         assert!(frac_below(900.0) > 0.75, "≤15min: {}", frac_below(900.0));

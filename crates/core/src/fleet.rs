@@ -215,10 +215,7 @@ mod tests {
         let (sim, f) = fleet(500);
         for &ip in &f.pool {
             assert!(sim.has_host(ip));
-            assert!(
-                analysis::asn::lookup(ip).is_some(),
-                "{ip} not attributable"
-            );
+            assert!(analysis::asn::lookup(ip).is_some(), "{ip} not attributable");
         }
     }
 
@@ -295,6 +292,9 @@ mod tests {
         let before = f.unique_ips();
         f.churn_epoch(0.05);
         let after = f.unique_ips();
-        assert!(after < before / 10, "churn kept too many: {before} → {after}");
+        assert!(
+            after < before / 10,
+            "churn kept too many: {before} → {after}"
+        );
     }
 }

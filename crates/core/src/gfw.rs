@@ -145,9 +145,7 @@ impl Tap for GfwTap {
                 passive.should_store(&pkt.payload, rng)
             };
             if store {
-                let GfwState {
-                    scheduler, rng, ..
-                } = &mut *st;
+                let GfwState { scheduler, rng, .. } = &mut *st;
                 scheduler.on_stored_payload(ctx.now, server, &pkt.payload, rng);
                 if let Some(due) = st.scheduler.next_due() {
                     ctx.wake_app(st.controller, due, TOKEN_ORDERS);
@@ -225,18 +223,13 @@ impl GfwController {
             .record(record.server, record.kind, record.payload_len, reaction);
         // Data response unlocks stage 2 for this server (§4.2).
         if reaction == Reaction::Data {
-            let GfwState {
-                scheduler, rng, ..
-            } = &mut *st;
+            let GfwState { scheduler, rng, .. } = &mut *st;
             scheduler.unlock_stage2(ctx.now, record.server, rng);
         }
         // Classification → possible blocking decision.
-        if let Verdict::LikelyShadowsocks { confidence, .. } =
-            st.classifier.verdict(record.server)
+        if let Verdict::LikelyShadowsocks { confidence, .. } = st.classifier.verdict(record.server)
         {
-            let GfwState {
-                blocking, rng, ..
-            } = &mut *st;
+            let GfwState { blocking, rng, .. } = &mut *st;
             blocking.consider(ctx.now, record.server, confidence, rng);
         }
         drop(st);
@@ -277,20 +270,16 @@ impl App for GfwController {
             AppEvent::ConnectFailed { conn, .. } => {
                 self.resolve(conn, Reaction::ConnectFailed, ctx);
             }
-            AppEvent::Data { conn, .. } => {
-                if self.pending.contains_key(&conn) {
-                    ctx.fin(conn);
-                    self.resolve(conn, Reaction::Data, ctx);
-                }
+            AppEvent::Data { conn, .. } if self.pending.contains_key(&conn) => {
+                ctx.fin(conn);
+                self.resolve(conn, Reaction::Data, ctx);
             }
             AppEvent::PeerRst { conn } => {
                 self.resolve(conn, Reaction::Rst, ctx);
             }
-            AppEvent::PeerFin { conn } => {
-                if self.pending.contains_key(&conn) {
-                    ctx.fin(conn);
-                    self.resolve(conn, Reaction::FinAck, ctx);
-                }
+            AppEvent::PeerFin { conn } if self.pending.contains_key(&conn) => {
+                ctx.fin(conn);
+                self.resolve(conn, Reaction::FinAck, ctx);
             }
             _ => {}
         }
@@ -322,4 +311,3 @@ impl GfwState {
         self.fleet.processes[i].clock
     }
 }
-

@@ -133,7 +133,13 @@ impl PassiveDetector {
         }
         // HTTP request methods.
         const METHODS: [&[u8]; 7] = [
-            b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ", b"CONNECT ",
+            b"GET ",
+            b"POST ",
+            b"HEAD ",
+            b"PUT ",
+            b"DELETE ",
+            b"OPTIONS ",
+            b"CONNECT ",
         ];
         if METHODS.iter().any(|m| payload.starts_with(m)) {
             return true;

@@ -64,9 +64,7 @@ pub fn nr1_len(rng: &mut impl Rng) -> usize {
 
 /// True if `len` is a legal NR1 probe length.
 pub fn is_nr1_len(len: usize) -> bool {
-    NR1_CENTERS
-        .iter()
-        .any(|&c| (c - 1..=c + 1).contains(&len))
+    NR1_CENTERS.iter().any(|&c| (c - 1..=c + 1).contains(&len))
 }
 
 fn change_byte(buf: &mut [u8], idx: usize, rng: &mut impl Rng) {

@@ -160,7 +160,7 @@ impl Scheduler {
 
     /// True once the server is in stage 2.
     pub fn is_stage2(&self, server: SocketAddr) -> bool {
-        self.servers.get(&server).map_or(false, |s| s.stage2)
+        self.servers.get(&server).is_some_and(|s| s.stage2)
     }
 
     /// Stage-1 replay kind mix (R1 dominates ~72/28, per Exp 1.a's

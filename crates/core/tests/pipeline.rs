@@ -166,8 +166,7 @@ fn libev_server_gets_stage1_probes_only() {
         "expected substantial probing, got {}",
         probes.len()
     );
-    let kinds: std::collections::HashSet<ProbeKind> =
-        probes.iter().map(|p| p.kind).collect();
+    let kinds: std::collections::HashSet<ProbeKind> = probes.iter().map(|p| p.kind).collect();
     assert!(kinds.contains(&ProbeKind::R1), "kinds: {kinds:?}");
     assert!(kinds.contains(&ProbeKind::Nr2), "kinds: {kinds:?}");
     // libev never answers probes with data → stage 2 never unlocks.
@@ -235,8 +234,7 @@ fn outline_server_unlocks_stage2_and_gets_blocked() {
 
     let server_addr = (setup.server_ip, 8388);
     let st = setup.handle.state.borrow();
-    let kinds: std::collections::HashSet<ProbeKind> =
-        st.probes().iter().map(|p| p.kind).collect();
+    let kinds: std::collections::HashSet<ProbeKind> = st.probes().iter().map(|p| p.kind).collect();
     assert!(
         kinds.contains(&ProbeKind::R3) || kinds.contains(&ProbeKind::R4),
         "stage 2 should have unlocked; kinds: {kinds:?}"
@@ -247,7 +245,10 @@ fn outline_server_unlocks_stage2_and_gets_blocked() {
         .iter()
         .any(|p| p.kind == ProbeKind::R1 && p.reaction == Some(Reaction::Data)));
     match st.classifier.verdict(server_addr) {
-        Verdict::LikelyShadowsocks { signature, confidence } => {
+        Verdict::LikelyShadowsocks {
+            signature,
+            confidence,
+        } => {
             assert_eq!(signature, Signature::RepliesToReplay);
             assert!(confidence > 0.9);
         }

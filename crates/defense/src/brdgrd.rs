@@ -101,7 +101,13 @@ mod tests {
 
         // Shaped connection.
         Brdgrd::default().enable(&mut sim, server);
-        sim.connect_at(SimTime::ZERO, app, client, (server, 8388), TcpTuning::default());
+        sim.connect_at(
+            SimTime::ZERO,
+            app,
+            client,
+            (server, 8388),
+            TcpTuning::default(),
+        );
         sim.run();
         let shaped_first = sim.capture(cap).first_data_per_conn()[0].payload.len();
         assert!(shaped_first <= 60, "first segment {shaped_first}");
@@ -110,7 +116,13 @@ mod tests {
         sim.capture_mut(cap).clear();
         Brdgrd::disable(&mut sim, server);
         let t = sim.now();
-        sim.connect_at(t + Duration::from_secs(1), app, client, (server, 8388), TcpTuning::default());
+        sim.connect_at(
+            t + Duration::from_secs(1),
+            app,
+            client,
+            (server, 8388),
+            TcpTuning::default(),
+        );
         sim.run();
         let plain_first = sim.capture(cap).first_data_per_conn()[0].payload.len();
         assert_eq!(plain_first, 400);

@@ -52,11 +52,7 @@ mod tests {
         use probesim::{infer, EngineOracle};
         use shadowsocks::ServerConfig;
         use sscrypto::method::Method;
-        let config = ServerConfig::new(
-            Method::Aes256Gcm,
-            "pw",
-            harden(Profile::LIBEV_OLD),
-        );
+        let config = ServerConfig::new(Method::Aes256Gcm, "pw", harden(Profile::LIBEV_OLD));
         let mut oracle = EngineOracle::new(config, 5);
         let inf = infer(&mut oracle, 40);
         assert!(!inf.shadowsocks_like, "{inf:?}");

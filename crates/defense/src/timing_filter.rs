@@ -147,11 +147,17 @@ mod tests {
     #[test]
     fn restart_exposure_is_one_window_only() {
         let mut f = TimedReplayFilter::new(Duration::from_secs(120));
-        assert_eq!(f.check(t(1000), t(1000), b"captured"), VerdictReason::Accept);
+        assert_eq!(
+            f.check(t(1000), t(1000), b"captured"),
+            VerdictReason::Accept
+        );
         f.restart();
         // Replay shortly after restart, inside the window: slips through
         // (the bounded exposure).
-        assert_eq!(f.check(t(1060), t(1000), b"captured"), VerdictReason::Accept);
+        assert_eq!(
+            f.check(t(1060), t(1000), b"captured"),
+            VerdictReason::Accept
+        );
         // Replay after the window: timestamp gate holds despite the
         // restart — the pure-nonce filter fails this case (§7.2).
         assert_eq!(

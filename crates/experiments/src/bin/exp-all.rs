@@ -26,6 +26,12 @@ fn main() {
     println!("== S6 blocking ==\n{}", blocking::run(scale, seed));
     println!("== S5.2.2 inference ==\n{}", inference::run(scale, seed));
     println!("== Extension: ablations ==\n{}", ablation::run(scale, seed));
-    println!("== Extension: fully-encrypted protocols (S9) ==\n{}", fep::run(scale, seed));
-    println!("== Extension: probe battery size ==\n{}", battery::run(scale, seed));
+    println!(
+        "== Extension: fully-encrypted protocols (S9) ==\n{}",
+        fep::run(scale, seed)
+    );
+    println!(
+        "== Extension: probe battery size ==\n{}",
+        battery::run(scale, seed)
+    );
 }

@@ -60,8 +60,10 @@ impl VariantScore {
 }
 
 fn detector(variant: Variant) -> PassiveDetector {
-    let mut cfg = PassiveConfig::default();
-    cfg.exempt_plaintext = variant == Variant::CombinedWhitelist;
+    let mut cfg = PassiveConfig {
+        exempt_plaintext: variant == Variant::CombinedWhitelist,
+        ..PassiveConfig::default()
+    };
     if variant == Variant::EntropyOnly {
         for band in &mut cfg.bands {
             band.w_rem9 = 10.0;
@@ -164,17 +166,17 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
         Variant::Combined,
         Variant::CombinedWhitelist,
     ]
-        .into_iter()
-        .map(|variant| {
-            let det = detector(variant);
-            VariantScore {
-                variant,
-                tpr_weight: mean(&det, variant, &ss_packets),
-                fpr_tls: mean(&det, variant, &tls_packets),
-                fpr_http: mean(&det, variant, &http_packets),
-            }
-        })
-        .collect();
+    .into_iter()
+    .map(|variant| {
+        let det = detector(variant);
+        VariantScore {
+            variant,
+            tpr_weight: mean(&det, variant, &ss_packets),
+            fpr_tls: mean(&det, variant, &tls_packets),
+            fpr_http: mean(&det, variant, &http_packets),
+        }
+    })
+    .collect();
 
     // Staged-vs-unstaged probe cost against a server that is NOT
     // Shadowsocks (an echo-ish service that answers everything): the

@@ -118,12 +118,13 @@ pub fn run(scale: Scale, seed: u64) -> Blocking {
         (st.blocking.all_rules().len(), st.blocking.suppressed)
     };
 
-    let scopes = sensitive.block_rules.iter().fold((0, 0), |acc, r| {
-        match r.scope {
+    let scopes = sensitive
+        .block_rules
+        .iter()
+        .fold((0, 0), |acc, r| match r.scope {
             BlockScope::Port(_) => (acc.0 + 1, acc.1),
             BlockScope::Ip(_) => (acc.0, acc.1 + 1),
-        }
-    });
+        });
     let durations_h = sensitive
         .block_rules
         .iter()

@@ -5,6 +5,7 @@
 //! disclosures; we test it directly with a VMess-shaped workload.
 
 use crate::report::Comparison;
+use crate::Scale;
 use gfw_core::{Gfw, GfwConfig};
 use netsim::app::{App, AppEvent, Ctx};
 use netsim::capture::Capture;
@@ -12,7 +13,6 @@ use netsim::conn::{ConnId, TcpTuning};
 use netsim::host::HostConfig;
 use netsim::time::{Duration, SimTime};
 use netsim::{SimConfig, Simulator};
-use crate::Scale;
 
 /// A VMess-like client: the first packet is a fully-random-looking
 /// blob — 16-byte auth header (HMAC of time+uuid in the real protocol)
@@ -142,7 +142,11 @@ pub fn run(scale: Scale, seed: u64) -> Fep {
     sim.run();
 
     let st = handle.state.borrow();
-    let probes_vmess = st.probes().iter().filter(|p| p.server.0 == vmess_ip).count();
+    let probes_vmess = st
+        .probes()
+        .iter()
+        .filter(|p| p.server.0 == vmess_ip)
+        .count();
     let replays_vmess = st
         .probes()
         .iter()

@@ -44,9 +44,7 @@ impl Fig11 {
             }
             // Skip hours too close after a toggle.
             for &(s, e) in &self.run.active_windows {
-                if (h >= s && h < s + self.settle_hours)
-                    || (h >= e && h < e + self.settle_hours)
-                {
+                if (h >= s && h < s + self.settle_hours) || (h >= e && h < e + self.settle_hours) {
                     continue 'hour;
                 }
             }

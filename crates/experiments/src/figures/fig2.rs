@@ -56,7 +56,11 @@ impl std::fmt::Display for Fig2 {
         for (len, count) in self.nr1_hist.sorted() {
             t.row(&[len.to_string(), "NR1".into(), count.to_string()]);
         }
-        t.row(&[NR2_LEN.to_string(), "NR2".into(), self.nr2_count.to_string()]);
+        t.row(&[
+            NR2_LEN.to_string(),
+            "NR2".into(),
+            self.nr2_count.to_string(),
+        ]);
         write!(f, "{}", t.render())?;
         writeln!(f)?;
         write!(f, "{}", self.comparison().render())

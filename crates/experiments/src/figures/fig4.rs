@@ -60,15 +60,20 @@ impl std::fmt::Display for Fig4 {
         writeln!(f, "  |A| (2015-like) = {}", v.a_total())?;
         writeln!(f, "  |B| (2018-like) = {}", v.b_total())?;
         writeln!(f, "  |C| (ours)      = {}", v.c_total())?;
-        writeln!(f, "  A∩B only = {}, A∩C only = {}, B∩C only = {}, A∩B∩C = {}",
-            v.ab, v.ac, v.bc, v.abc)?;
+        writeln!(
+            f,
+            "  A∩B only = {}, A∩C only = {}, B∩C only = {}, A∩B∩C = {}",
+            v.ab, v.ac, v.bc, v.abc
+        )?;
         writeln!(f)?;
         write!(f, "{}", self.comparison().render())
     }
 }
 
 fn collect_epoch(fleet: &mut Fleet, probes: usize) -> HashSet<Ipv4> {
-    (0..probes).map(|_| fleet.assign(SimTime::ZERO).ip).collect()
+    (0..probes)
+        .map(|_| fleet.assign(SimTime::ZERO).ip)
+        .collect()
 }
 
 /// Run the experiment: three epochs, heavy churn between them.
@@ -106,8 +111,7 @@ mod tests {
         assert!(fig.venn.c_total() > 100);
         assert!(fig.comparison().all_hold(), "\n{fig}");
         // But not zero everywhere — churn retains a sliver.
-        let any_overlap =
-            fig.venn.ab + fig.venn.ac + fig.venn.bc + fig.venn.abc;
+        let any_overlap = fig.venn.ab + fig.venn.ac + fig.venn.bc + fig.venn.abc;
         assert!(any_overlap > 0, "expected a small non-zero overlap");
     }
 }

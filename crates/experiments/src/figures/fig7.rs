@@ -59,7 +59,10 @@ impl Fig7 {
         c.add(
             "payloads replayed multiple times",
             "mean ≈3.4",
-            format!("mean {:.1}", self.all.len() as f64 / self.first.len().max(1) as f64),
+            format!(
+                "mean {:.1}",
+                self.all.len() as f64 / self.first.len().max(1) as f64
+            ),
             self.all.len() > self.first.len(),
         );
         c

@@ -101,7 +101,7 @@ pub fn analyze(probes: &[ProbeRecord], triggers: usize) -> Fig8 {
     let replay_lens = probes
         .iter()
         .filter(|p| p.kind == ProbeKind::R1)
-        .filter(|p| p.trigger_id.map_or(true, |t| seen.insert(t)))
+        .filter(|p| p.trigger_id.is_none_or(|t| seen.insert(t)))
         .map(|p| p.payload_len)
         .collect();
     Fig8 {

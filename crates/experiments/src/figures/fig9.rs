@@ -52,7 +52,11 @@ impl Fig9 {
         c.add(
             "rising curve",
             "rising",
-            format!("{:.4}% → {:.4}%", self.pooled_ratio(0, 3) * 100.0, hi * 100.0),
+            format!(
+                "{:.4}% → {:.4}%",
+                self.pooled_ratio(0, 3) * 100.0,
+                hi * 100.0
+            ),
             hi > self.pooled_ratio(0, 3),
         );
         let low_bins_nonempty = self.bins[..3].iter().map(|b| b.1).sum::<usize>();

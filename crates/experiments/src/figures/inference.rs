@@ -29,7 +29,10 @@ pub struct InferenceStudy {
 impl InferenceStudy {
     /// Cells where the server was identified as Shadowsocks-like.
     pub fn identified(&self) -> usize {
-        self.cells.iter().filter(|c| c.inference.shadowsocks_like).count()
+        self.cells
+            .iter()
+            .filter(|c| c.inference.shadowsocks_like)
+            .count()
     }
 
     /// Cells where identification failed because the implementation is
@@ -40,9 +43,7 @@ impl InferenceStudy {
 
     /// Every recovered nonce length was correct.
     pub fn all_nonces_correct(&self) -> bool {
-        self.cells
-            .iter()
-            .all(|c| c.nonce_correct.unwrap_or(true))
+        self.cells.iter().all(|c| c.nonce_correct.unwrap_or(true))
     }
 }
 
@@ -61,7 +62,12 @@ impl std::fmt::Display for InferenceStudy {
             t.row(&[
                 c.profile.into(),
                 c.method.name().into(),
-                if c.inference.shadowsocks_like { "yes" } else { "no" }.into(),
+                if c.inference.shadowsocks_like {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .into(),
                 c.inference
                     .nonce_len
                     .map(|n| n.to_string())
@@ -132,10 +138,14 @@ mod tests {
         for c in &s.cells {
             let should_identify = matches!(
                 c.profile,
-                "ss-libev v3.0.8-v3.2.5" | "OutlineVPN v1.0.6" | "shadowsocks-python" | "ShadowsocksR"
+                "ss-libev v3.0.8-v3.2.5"
+                    | "OutlineVPN v1.0.6"
+                    | "shadowsocks-python"
+                    | "ShadowsocksR"
             );
             assert_eq!(
-                c.inference.shadowsocks_like, should_identify,
+                c.inference.shadowsocks_like,
+                should_identify,
                 "{} {}",
                 c.profile,
                 c.method.name()

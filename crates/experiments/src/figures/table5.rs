@@ -48,8 +48,16 @@ fn letter(r: Reaction) -> &'static str {
 
 impl std::fmt::Display for Table5 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table 5 — reactions to replays (R: reset, T: timeout, F: FIN/ACK, D: data)\n")?;
-        let mut t = Table::new(&["Implementation", "Mode", "Identical", "Byte-changed (R2-R5)"]);
+        writeln!(
+            f,
+            "Table 5 — reactions to replays (R: reset, T: timeout, F: FIN/ACK, D: data)\n"
+        )?;
+        let mut t = Table::new(&[
+            "Implementation",
+            "Mode",
+            "Identical",
+            "Byte-changed (R2-R5)",
+        ]);
         for row in &self.rows {
             let changed: Vec<&str> = row.changed.iter().map(|&r| letter(r)).collect();
             t.row(&[
@@ -66,11 +74,36 @@ impl std::fmt::Display for Table5 {
 /// Run the table.
 pub fn run(_scale: Scale, seed: u64) -> Table5 {
     let cases: Vec<(&'static str, &'static str, Profile, Method)> = vec![
-        ("ss-libev v3.0.8-v3.2.5", "Stream", Profile::LIBEV_OLD, Method::Aes256Cfb),
-        ("ss-libev v3.0.8-v3.2.5", "AEAD", Profile::LIBEV_OLD, Method::Aes256Gcm),
-        ("ss-libev v3.3.1-v3.3.3", "Stream", Profile::LIBEV_NEW, Method::Aes256Cfb),
-        ("ss-libev v3.3.1-v3.3.3", "AEAD", Profile::LIBEV_NEW, Method::Aes256Gcm),
-        ("OutlineVPN v1.0.7-v1.0.8", "AEAD", Profile::OUTLINE_1_0_7, Method::ChaCha20IetfPoly1305),
+        (
+            "ss-libev v3.0.8-v3.2.5",
+            "Stream",
+            Profile::LIBEV_OLD,
+            Method::Aes256Cfb,
+        ),
+        (
+            "ss-libev v3.0.8-v3.2.5",
+            "AEAD",
+            Profile::LIBEV_OLD,
+            Method::Aes256Gcm,
+        ),
+        (
+            "ss-libev v3.3.1-v3.3.3",
+            "Stream",
+            Profile::LIBEV_NEW,
+            Method::Aes256Cfb,
+        ),
+        (
+            "ss-libev v3.3.1-v3.3.3",
+            "AEAD",
+            Profile::LIBEV_NEW,
+            Method::Aes256Gcm,
+        ),
+        (
+            "OutlineVPN v1.0.7-v1.0.8",
+            "AEAD",
+            Profile::OUTLINE_1_0_7,
+            Method::ChaCha20IetfPoly1305,
+        ),
     ];
     let rows = cases
         .into_iter()

@@ -81,8 +81,12 @@ impl Comparison {
         measured: impl std::fmt::Display,
         holds: bool,
     ) -> &mut Self {
-        self.rows
-            .push((metric.to_string(), paper.to_string(), measured.to_string(), holds));
+        self.rows.push((
+            metric.to_string(),
+            paper.to_string(),
+            measured.to_string(),
+            holds,
+        ));
         self
     }
 

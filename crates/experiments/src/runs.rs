@@ -257,10 +257,7 @@ pub fn harvest(world: &SsWorld, trigger_conns: usize) -> SsRunResult {
     let prober_ttl_range = if ttls.is_empty() {
         None
     } else {
-        Some((
-            *ttls.iter().min().unwrap(),
-            *ttls.iter().max().unwrap(),
-        ))
+        Some((*ttls.iter().min().unwrap(), *ttls.iter().max().unwrap()))
     };
     SsRunResult {
         probes: st.probes().to_vec(),

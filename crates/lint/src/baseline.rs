@@ -1,0 +1,119 @@
+//! The checked-in panic-budget baseline (`lint-baseline.toml`).
+//!
+//! The file is a single `[panic-budget]` table mapping crate directory
+//! names to the number of explicit panic sites (`unwrap()` / `expect(` /
+//! `panic!` / `unreachable!`) allowed in that crate's non-test code.
+//! Rule P1 fails when a crate exceeds its budget; `--bless` regenerates
+//! the file and only ever ratchets the numbers *down* — raising a
+//! budget is a deliberate act done by editing the file by hand.
+//!
+//! The parser is a deliberately tiny TOML subset (one table, `key =
+//! integer` entries, `#` comments) so the linter stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// File name of the baseline, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Parsed baseline: crate directory name → allowed panic-site count.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Budgets per crate directory name.
+    pub budgets: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Load the baseline from `root`, if present. Returns `Ok(None)`
+    /// when the file does not exist.
+    pub fn load(root: &Path) -> Result<Option<Baseline>, String> {
+        let path = root.join(BASELINE_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(Some(Baseline::parse(&text)?))
+    }
+
+    /// Parse baseline text.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut budgets = BTreeMap::new();
+        let mut in_table = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_table = line == "[panic-budget]";
+                continue;
+            }
+            if !in_table {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "{BASELINE_FILE}:{}: expected `crate = count`",
+                    lineno + 1
+                ));
+            };
+            let count: usize = value.trim().parse().map_err(|_| {
+                format!(
+                    "{BASELINE_FILE}:{}: `{}` is not a count",
+                    lineno + 1,
+                    value.trim()
+                )
+            })?;
+            budgets.insert(key.trim().to_string(), count);
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Serialize to the canonical file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Panic-site budget per crate (gfw-lint rule P1).\n\
+             # Counts cover `unwrap()` / `expect(` / `panic!` / `unreachable!` in\n\
+             # non-test code. Regenerate with `cargo run -p gfw-lint -- --bless`;\n\
+             # blessing only ratchets budgets DOWN. Raising one is a hand edit.\n\
+             \n[panic-budget]\n",
+        );
+        for (name, count) in &self.budgets {
+            out.push_str(&format!("{name} = {count}\n"));
+        }
+        out
+    }
+
+    /// Write the baseline file under `root`.
+    pub fn store(&self, root: &Path) -> Result<(), String> {
+        let path = root.join(BASELINE_FILE);
+        std::fs::write(&path, self.render()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let b = Baseline::parse("# hi\n[panic-budget]\ncore = 3 # note\nnetsim = 0\n").unwrap();
+        assert_eq!(b.budgets.get("core"), Some(&3));
+        assert_eq!(b.budgets.get("netsim"), Some(&0));
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(again.budgets, b.budgets);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("[panic-budget]\ncore three\n").is_err());
+        assert!(Baseline::parse("[panic-budget]\ncore = many\n").is_err());
+    }
+
+    #[test]
+    fn other_tables_ignored() {
+        let b = Baseline::parse("[other]\nx = 9\n[panic-budget]\ncore = 1\n").unwrap();
+        assert_eq!(b.budgets.len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! `--fix`: mechanical repairs for the rules where the correct edit is
+//! unambiguous.
+//!
+//! * **D2** — insert the missing `#![forbid(unsafe_code)]` /
+//!   `#![warn(missing_docs)]` after the crate root's doc-comment header.
+//! * **H1** — rewrite a versioned/path dependency line to
+//!   `name.workspace = true`, but only when the root
+//!   `[workspace.dependencies]` already defines that name (otherwise the
+//!   fix would break the build, so the finding is left for a human).
+//!
+//! D1/P1/C1 findings are semantic and never auto-fixed.
+
+use crate::{run, Options, Report, Workspace};
+use std::path::Path;
+
+/// One applied fix, for reporting.
+#[derive(Debug)]
+pub struct Applied {
+    /// Root-relative file that was rewritten.
+    pub file: String,
+    /// What was done.
+    pub what: String,
+}
+
+/// Apply all mechanical fixes for the current findings, then re-run the
+/// lint. Returns the applied fixes and the post-fix report.
+pub fn fix(opts: &Options) -> Result<(Vec<Applied>, Report), String> {
+    let before = run(opts)?;
+    let ws = Workspace::load(&opts.root)?;
+    let mut applied = Vec::new();
+    for finding in &before.findings {
+        match finding.rule {
+            // D2 messages read: crate `name` is missing `#![attr]` — the
+            // attribute is the second backticked chunk.
+            "D2" => {
+                if let Some(attr) = finding.message.split('`').nth(3) {
+                    let path = ws.root.join(&finding.file);
+                    if insert_inner_attr(&path, attr)? {
+                        applied.push(Applied {
+                            file: finding.file.clone(),
+                            what: format!("inserted `{attr}`"),
+                        });
+                    }
+                }
+            }
+            "H1" => {
+                if let Some(dep) = finding.message.split('`').nth(1) {
+                    let path = ws.root.join(&finding.file);
+                    if rewrite_workspace_dep(&path, &ws.root, dep, finding.line)? {
+                        applied.push(Applied {
+                            file: finding.file.clone(),
+                            what: format!("rewrote `{dep}` to `{dep}.workspace = true`"),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let after = run(opts)?;
+    Ok((applied, after))
+}
+
+/// Insert an inner attribute after the crate root's `//!` doc header and
+/// any existing inner attributes. Returns false if already present.
+fn insert_inner_attr(path: &Path, attr: &str) -> Result<bool, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if text.contains(attr) {
+        return Ok(false);
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    // The header is the leading run of doc comments, inner attributes
+    // and blank lines; insert at its end.
+    let mut insert_at = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if t.starts_with("//!") || t.starts_with("#![") || t.is_empty() {
+            if t.starts_with("//!") || t.starts_with("#![") {
+                insert_at = i + 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let mut out: Vec<String> = lines[..insert_at].iter().map(|s| s.to_string()).collect();
+    // Keep attributes visually grouped: no blank line between attrs, one
+    // blank line after a doc header.
+    if insert_at > 0 && lines[insert_at - 1].trim_start().starts_with("//!") {
+        out.push(String::new());
+    }
+    out.push(attr.to_string());
+    if insert_at < lines.len() && !lines[insert_at].trim().is_empty() {
+        out.push(String::new());
+    }
+    out.extend(lines[insert_at..].iter().map(|s| s.to_string()));
+    let mut joined = out.join("\n");
+    if text.ends_with('\n') {
+        joined.push('\n');
+    }
+    std::fs::write(path, joined).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(true)
+}
+
+/// Rewrite line `lineno` (1-based) of a manifest to `dep.workspace =
+/// true`, provided the root `[workspace.dependencies]` defines `dep`.
+fn rewrite_workspace_dep(
+    path: &Path,
+    root: &Path,
+    dep: &str,
+    lineno: usize,
+) -> Result<bool, String> {
+    if !workspace_defines(root, dep)? {
+        return Ok(false);
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines: Vec<String> = text.lines().map(|s| s.to_string()).collect();
+    let Some(line) = lineno.checked_sub(1).and_then(|i| lines.get_mut(i)) else {
+        return Ok(false);
+    };
+    if !line.trim_start().starts_with(dep) {
+        return Ok(false);
+    }
+    *line = format!("{dep}.workspace = true");
+    let mut joined = lines.join("\n");
+    if text.ends_with('\n') {
+        joined.push('\n');
+    }
+    std::fs::write(path, joined).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(true)
+}
+
+/// Does the root manifest's `[workspace.dependencies]` define `dep`?
+fn workspace_defines(root: &Path, dep: &str) -> Result<bool, String> {
+    let path = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut in_table = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table {
+            if let Some((key, _)) = line.split_once('=') {
+                if key.trim() == dep || key.trim().starts_with(&format!("{dep}.")) {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}

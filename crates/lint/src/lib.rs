@@ -1,0 +1,249 @@
+//! # gfw-lint — workspace invariant checker
+//!
+//! A dependency-free static-analysis tool for this workspace. It walks
+//! every `.rs` file and `Cargo.toml` under the repository root with a
+//! hand-rolled line/token scanner ([`scan`]) and enforces the project
+//! invariants as named, `file:line`-reported rules:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | `D1` | No wall-clock or OS-entropy calls (`SystemTime::now`, `Instant::now`, `thread_rng`, `from_entropy`) in the simulation crates (`core`, `netsim`, `probesim`, `trafficgen`, `defense`). Simulations must be a pure function of their seed. |
+//! | `D2` | Every crate root carries `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`. |
+//! | `P1` | Explicit panic sites (`unwrap()` / `expect(` / `panic!` / `unreachable!`) in the non-test code of `core`, `netsim` and `sscrypto` stay within the checked-in budget (`lint-baseline.toml`), which only ratchets downward. |
+//! | `C1` | The protocol constants agree across crates: the stream-IV and AEAD-salt lengths declared by `sscrypto::method::Method::iv_len` match the paper (8/12/16 and 16/24/32), the probe length sweep in `core::probe` covers them, and `shadowsocks::wire` derives its salt length from `Method::iv_len` instead of hardcoding one. |
+//! | `H1` | Member `Cargo.toml`s take every dependency via `workspace = true`; versions live only in the root `[workspace.dependencies]`. |
+//!
+//! Individual findings can be suppressed with an inline escape —
+//! `// gfwlint: allow(D1)` on the offending line or alone on the line
+//! above (`# gfwlint: allow(H1)` in TOML). Escapes are counted and
+//! reported, never silent.
+//!
+//! The binary (`cargo run -p gfw-lint`) exits 0 when clean, 1 on
+//! findings, 2 on usage or I/O errors, and supports `--json` (machine
+//! output), `--fix` (mechanical repairs for D2/H1) and `--bless`
+//! (regenerate the P1 baseline, downward only).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod fix;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use scan::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule ID (`D1`, `D2`, `P1`, `C1`, `H1`).
+    pub rule: &'static str,
+    /// File path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// One honored `gfwlint: allow(...)` escape.
+#[derive(Debug, Clone)]
+pub struct AllowUse {
+    /// The rule that was suppressed.
+    pub rule: String,
+    /// File path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// The result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in deterministic (file, line) order per rule.
+    pub findings: Vec<Finding>,
+    /// Escapes that suppressed a real would-be finding.
+    pub allows: Vec<AllowUse>,
+    /// Number of files scanned (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+    /// Current P1 panic-site counts per budgeted crate.
+    pub panic_counts: BTreeMap<String, usize>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// A member crate: directory name (not package name) and its path.
+#[derive(Debug)]
+pub struct CrateDir {
+    /// Directory name under `crates/` (e.g. `core`, `sscrypto`).
+    pub name: String,
+    /// Absolute path to the crate directory.
+    pub path: PathBuf,
+}
+
+/// The scanned workspace: every member crate with its sources loaded.
+pub struct Workspace {
+    /// Workspace root.
+    pub root: PathBuf,
+    /// Member crates under `crates/` (sorted by name).
+    pub crates: Vec<CrateDir>,
+    /// All scanned `.rs` files, keyed by root-relative path.
+    pub sources: BTreeMap<String, SourceFile>,
+}
+
+impl Workspace {
+    /// Load and scan the workspace at `root`.
+    ///
+    /// Walks `src/` at the root plus every crate directory under
+    /// `crates/`, skipping `target/` and any `fixtures/` directory
+    /// (those hold intentionally-broken lint test inputs).
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let root = root
+            .canonicalize()
+            .map_err(|e| format!("{}: {e}", root.display()))?;
+        let mut crates = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)
+                .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+                .collect();
+            entries.sort();
+            for path in entries {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                crates.push(CrateDir { name, path });
+            }
+        }
+
+        let mut files = Vec::new();
+        walk_rs(&root.join("src"), &mut files);
+        for c in &crates {
+            walk_rs(&c.path, &mut files);
+        }
+        files.sort();
+
+        let mut sources = BTreeMap::new();
+        for path in files {
+            let sf =
+                SourceFile::load(&root, &path).map_err(|e| format!("{}: {e}", path.display()))?;
+            sources.insert(sf.rel.clone(), sf);
+        }
+
+        Ok(Workspace {
+            root,
+            crates,
+            sources,
+        })
+    }
+
+    /// All scanned sources whose root-relative path starts with `prefix`.
+    pub fn sources_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.sources
+            .iter()
+            .filter(move |(rel, _)| rel.starts_with(prefix))
+            .map(|(_, sf)| sf)
+    }
+}
+
+/// Recursively collect `.rs` files, skipping `target/` and `fixtures/`.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint options.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Workspace root to lint.
+    pub root: PathBuf,
+}
+
+/// Run every rule against the workspace at `opts.root`.
+pub fn run(opts: &Options) -> Result<Report, String> {
+    let ws = Workspace::load(&opts.root)?;
+    let mut report = Report {
+        files_scanned: ws.sources.len(),
+        ..Report::default()
+    };
+    rules::d1_determinism(&ws, &mut report);
+    rules::d2_crate_attrs(&ws, &mut report);
+    rules::p1_panic_budget(&ws, &mut report)?;
+    rules::c1_protocol_constants(&ws, &mut report);
+    rules::h1_workspace_deps(&ws, &mut report)?;
+    Ok(report)
+}
+
+/// Regenerate the P1 baseline from current counts. Budgets only ratchet
+/// downward: if any crate's current count exceeds its existing budget,
+/// this fails and tells the caller to fix the regressions instead.
+///
+/// Returns a human-readable summary of what was written.
+pub fn bless(root: &Path) -> Result<String, String> {
+    let ws = Workspace::load(root)?;
+    let counts = rules::panic_counts(&ws);
+    if let Some(old) = baseline::Baseline::load(&ws.root)? {
+        let mut raised = Vec::new();
+        for (name, &count) in &counts {
+            if let Some(&budget) = old.budgets.get(name) {
+                if count > budget {
+                    raised.push(format!("{name}: {count} > {budget}"));
+                }
+            }
+        }
+        if !raised.is_empty() {
+            return Err(format!(
+                "refusing to bless: panic budgets only ratchet downward ({}); \
+                 fix the new panic sites or raise the budget by hand in {}",
+                raised.join(", "),
+                baseline::BASELINE_FILE
+            ));
+        }
+    }
+    let new = baseline::Baseline {
+        budgets: counts.clone(),
+    };
+    new.store(&ws.root)?;
+    let summary: Vec<String> = counts.iter().map(|(n, c)| format!("{n} = {c}")).collect();
+    Ok(format!(
+        "blessed {} ({})",
+        baseline::BASELINE_FILE,
+        summary.join(", ")
+    ))
+}

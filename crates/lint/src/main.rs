@@ -1,0 +1,137 @@
+//! `gfw-lint` command-line entry point.
+//!
+//! ```text
+//! gfw-lint [--root DIR] [--json] [--fix] [--bless]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gfw_lint::{bless, fix, report, run, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    fix: bool,
+    bless: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        fix: false,
+        bless: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--fix" => args.fix = true,
+            "--bless" => args.bless = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "gfw-lint: workspace invariant checker\n\n\
+                     USAGE: gfw-lint [--root DIR] [--json] [--fix] [--bless]\n\n\
+                     Rules: D1 determinism, D2 crate attributes, P1 panic budget,\n\
+                     C1 protocol-constant consistency, H1 workspace dependencies.\n\
+                     Suppress one finding with `// gfwlint: allow(RULE)`.\n\n\
+                     --root DIR  lint this workspace (default: nearest enclosing workspace)\n\
+                     --json      machine-readable output\n\
+                     --fix       apply mechanical fixes (D2 attributes, H1 rewrites)\n\
+                     --bless     regenerate the P1 baseline (budgets only ratchet down)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walk upward from the current directory to the nearest directory with
+/// a `Cargo.toml` declaring `[workspace]`.
+fn discover_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no enclosing Cargo workspace found (use --root)".to_string());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gfw-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.map(Ok).unwrap_or_else(discover_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gfw-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.bless {
+        return match bless(&root) {
+            Ok(msg) => {
+                println!("gfw-lint: {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gfw-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let opts = Options { root };
+    let result = if args.fix {
+        fix::fix(&opts).map(|(applied, report)| {
+            for a in &applied {
+                println!("fixed {}: {}", a.file, a.what);
+            }
+            report
+        })
+    } else {
+        run(&opts)
+    };
+
+    match result {
+        Ok(rep) => {
+            if args.json {
+                print!("{}", report::render_json(&rep));
+            } else {
+                print!("{}", report::render_human(&rep));
+            }
+            if rep.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("gfw-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

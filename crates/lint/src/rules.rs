@@ -1,0 +1,740 @@
+//! The five lint rules.
+//!
+//! Each rule pushes [`Finding`]s (and honored allow-escapes) into the
+//! shared [`Report`]. All rules operate on the comment/string-stripped
+//! `code` text produced by [`crate::scan`], so tokens inside comments,
+//! doc examples rendered as comments, or string literals never fire.
+
+use crate::baseline::{Baseline, BASELINE_FILE};
+use crate::scan::{has_token, SourceFile};
+use crate::{AllowUse, Finding, Report, Workspace};
+use std::collections::BTreeMap;
+
+/// Crates whose behaviour must be a pure function of the seed (D1).
+pub const SIM_CRATES: &[&str] = &["core", "netsim", "probesim", "trafficgen", "defense"];
+
+/// Crates with a panic-site budget (P1).
+pub const PANIC_BUDGET_CRATES: &[&str] = &["core", "netsim", "sscrypto"];
+
+/// Wall-clock / OS-entropy tokens banned in simulation crates.
+const D1_TOKENS: &[&str] = &[
+    "SystemTime::now",
+    "Instant::now",
+    "thread_rng",
+    "from_entropy",
+];
+
+/// Explicit panic-site tokens counted by P1.
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// The paper's IV/salt length table (Fig 10 row groups): every
+/// `sscrypto::method::Method` variant and the byte length its
+/// `iv_len()` arm must declare.
+const IV_EXPECT: &[(&str, usize)] = &[
+    ("Aes128Ctr", 16),
+    ("Aes192Ctr", 16),
+    ("Aes256Ctr", 16),
+    ("Aes128Cfb", 16),
+    ("Aes192Cfb", 16),
+    ("Aes256Cfb", 16),
+    ("ChaCha20", 8),
+    ("ChaCha20Ietf", 12),
+    ("Rc4Md5", 16),
+    ("Aes128Gcm", 16),
+    ("Aes192Gcm", 24),
+    ("Aes256Gcm", 32),
+    ("ChaCha20IetfPoly1305", 32),
+    ("XChaCha20IetfPoly1305", 32),
+];
+
+/// Variants using the AEAD construction (their `iv_len` is a salt).
+const AEAD_VARIANTS: &[&str] = &[
+    "Aes128Gcm",
+    "Aes192Gcm",
+    "Aes256Gcm",
+    "ChaCha20IetfPoly1305",
+    "XChaCha20IetfPoly1305",
+];
+
+/// An AEAD server first decrypts (and reacts) at `salt + 35` bytes, so
+/// the probe sweep places a trio center at `salt + 17` — inside the
+/// silent zone for the next-larger salt but past the stream IVs.
+const AEAD_CENTER_OFFSET: usize = 17;
+
+/// The AEAD decrypt threshold: salt + 2-byte length + two 16-byte tags
+/// + 1 (`salt + 35`). `NR2_LEN` must exceed it for the largest salt.
+const AEAD_THRESHOLD_OFFSET: usize = 35;
+
+fn allowed(report: &mut Report, rule: &str, file: &SourceFile, idx: usize) -> bool {
+    if file.lines[idx].allows.iter().any(|a| a == rule) {
+        report.allows.push(AllowUse {
+            rule: rule.to_string(),
+            file: file.rel.clone(),
+            line: idx + 1,
+        });
+        true
+    } else {
+        false
+    }
+}
+
+/// D1: no wall-clock or OS-entropy calls in simulation crates.
+pub fn d1_determinism(ws: &Workspace, report: &mut Report) {
+    for crate_name in SIM_CRATES {
+        let prefix = format!("crates/{crate_name}/");
+        let rels: Vec<String> = ws.sources_under(&prefix).map(|f| f.rel.clone()).collect();
+        for rel in rels {
+            let file = &ws.sources[&rel];
+            let mut hits = Vec::new();
+            for (idx, line) in file.lines.iter().enumerate() {
+                for token in D1_TOKENS {
+                    if has_token(&line.code, token) {
+                        hits.push((idx, *token));
+                    }
+                }
+            }
+            for (idx, token) in hits {
+                if allowed(report, "D1", &ws.sources[&rel], idx) {
+                    continue;
+                }
+                report.findings.push(Finding {
+                    rule: "D1",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{token}` in simulation crate `{crate_name}`: simulations must \
+                         derive all time and randomness from the seeded simulator state"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// D2: every crate root file carries both lint attributes.
+pub fn d2_crate_attrs(ws: &Workspace, report: &mut Report) {
+    let mut roots: Vec<(String, String)> = Vec::new(); // (crate label, root file rel)
+    if ws.sources.contains_key("src/lib.rs") {
+        roots.push(("workspace root".into(), "src/lib.rs".into()));
+    }
+    for c in &ws.crates {
+        for candidate in ["src/lib.rs", "src/main.rs"] {
+            let rel = format!("crates/{}/{candidate}", c.name);
+            if ws.sources.contains_key(&rel) {
+                roots.push((c.name.clone(), rel));
+                break;
+            }
+        }
+    }
+    for (label, rel) in roots {
+        let file = &ws.sources[&rel];
+        for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            let present = file.lines.iter().any(|l| l.code.contains(attr));
+            if !present {
+                report.findings.push(Finding {
+                    rule: "D2",
+                    file: rel.clone(),
+                    line: 1,
+                    message: format!("crate `{label}` is missing `{attr}` (fixable with --fix)"),
+                });
+            }
+        }
+    }
+}
+
+/// Count P1 panic-site tokens in the non-test `src/` code of the
+/// budgeted crates. Allow-escaped lines are excluded from the count
+/// (the escape is recorded on the report during `p1_panic_budget`).
+pub fn panic_counts(ws: &Workspace) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for crate_name in PANIC_BUDGET_CRATES {
+        let prefix = format!("crates/{crate_name}/src/");
+        let mut count = 0usize;
+        for file in ws.sources_under(&prefix) {
+            for line in &file.lines {
+                if line.in_test || line.allows.iter().any(|a| a == "P1") {
+                    continue;
+                }
+                for token in PANIC_TOKENS {
+                    count += count_token(&line.code, token);
+                }
+            }
+        }
+        counts.insert(crate_name.to_string(), count);
+    }
+    counts
+}
+
+/// P1: per-crate panic budget against the checked-in baseline.
+pub fn p1_panic_budget(ws: &Workspace, report: &mut Report) -> Result<(), String> {
+    let counts = panic_counts(ws);
+    report.panic_counts = counts.clone();
+    // Record honored escapes.
+    for crate_name in PANIC_BUDGET_CRATES {
+        let prefix = format!("crates/{crate_name}/src/");
+        let escapes: Vec<(String, usize)> = ws
+            .sources_under(&prefix)
+            .flat_map(|file| {
+                file.lines.iter().enumerate().filter_map(|(idx, line)| {
+                    let is_panic_line = PANIC_TOKENS.iter().any(|t| count_token(&line.code, t) > 0);
+                    (!line.in_test && is_panic_line && line.allows.iter().any(|a| a == "P1"))
+                        .then(|| (file.rel.clone(), idx + 1))
+                })
+            })
+            .collect();
+        for (file, line) in escapes {
+            report.allows.push(AllowUse {
+                rule: "P1".to_string(),
+                file,
+                line,
+            });
+        }
+    }
+
+    let has_budgeted_crate = ws
+        .crates
+        .iter()
+        .any(|c| PANIC_BUDGET_CRATES.contains(&c.name.as_str()));
+    if !has_budgeted_crate {
+        return Ok(());
+    }
+    let Some(baseline) = Baseline::load(&ws.root)? else {
+        report.findings.push(Finding {
+            rule: "P1",
+            file: BASELINE_FILE.to_string(),
+            line: 0,
+            message: "panic-budget baseline missing; run `gfw-lint --bless` to create it"
+                .to_string(),
+        });
+        return Ok(());
+    };
+    for (name, &count) in &counts {
+        if !ws.crates.iter().any(|c| &c.name == name) {
+            continue;
+        }
+        match baseline.budgets.get(name) {
+            None => report.findings.push(Finding {
+                rule: "P1",
+                file: BASELINE_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "crate `{name}` has no panic budget entry (current count: {count}); \
+                     run `gfw-lint --bless`"
+                ),
+            }),
+            Some(&budget) if count > budget => report.findings.push(Finding {
+                rule: "P1",
+                file: format!("crates/{name}/src/lib.rs"),
+                line: 1,
+                message: format!(
+                    "crate `{name}` has {count} explicit panic sites in non-test code, \
+                     over its budget of {budget}; remove some or raise the budget by \
+                     hand in {BASELINE_FILE}"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// C1: protocol constants agree across `sscrypto::method`,
+/// `core::probe` and `shadowsocks::wire`.
+pub fn c1_protocol_constants(ws: &Workspace, report: &mut Report) {
+    let method_rel = "crates/sscrypto/src/method.rs";
+    let Some(method) = ws.sources.get(method_rel) else {
+        return; // nothing to cross-check in this tree
+    };
+
+    // 1. Parse the `iv_len` match arms and compare against the paper.
+    let Some(arms) = parse_iv_len_arms(method) else {
+        report.findings.push(Finding {
+            rule: "C1",
+            file: method_rel.to_string(),
+            line: 1,
+            message: "could not locate `fn iv_len` match arms to cross-check".to_string(),
+        });
+        return;
+    };
+    let mut declared: Vec<(&str, usize)> = Vec::new(); // (variant, declared len)
+    for &(variant, want) in IV_EXPECT {
+        let token = format!("Method::{variant}");
+        match arms.iter().find(|(pat, _, _)| has_token(pat, &token)) {
+            None => report.findings.push(Finding {
+                rule: "C1",
+                file: method_rel.to_string(),
+                line: 1,
+                message: format!("no `iv_len` arm covers `Method::{variant}`"),
+            }),
+            Some(&(_, got, line)) => {
+                declared.push((variant, got));
+                if got != want {
+                    let kind = if AEAD_VARIANTS.contains(&variant) {
+                        "salt"
+                    } else {
+                        "IV"
+                    };
+                    report.findings.push(Finding {
+                        rule: "C1",
+                        file: method_rel.to_string(),
+                        line,
+                        message: format!(
+                            "`Method::{variant}` declares a {got}-byte {kind}; the paper's \
+                             Fig 10 table requires {want} bytes"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let stream_ivs: Vec<usize> = dedup_sorted(
+        declared
+            .iter()
+            .filter(|(v, _)| !AEAD_VARIANTS.contains(v))
+            .map(|&(_, l)| l),
+    );
+    let aead_salts: Vec<usize> = dedup_sorted(
+        declared
+            .iter()
+            .filter(|(v, _)| AEAD_VARIANTS.contains(v))
+            .map(|&(_, l)| l),
+    );
+
+    // 2. The probe sweep in core::probe must cover those lengths.
+    let probe_rel = "crates/core/src/probe.rs";
+    if let Some(probe) = ws.sources.get(probe_rel) {
+        match parse_array_const(probe, "NR1_CENTERS") {
+            None => report.findings.push(Finding {
+                rule: "C1",
+                file: probe_rel.to_string(),
+                line: 1,
+                message: "could not parse `NR1_CENTERS` to cross-check probe lengths".to_string(),
+            }),
+            Some((centers, line)) => {
+                for &iv in &stream_ivs {
+                    if !centers.contains(&iv) {
+                        report.findings.push(Finding {
+                            rule: "C1",
+                            file: probe_rel.to_string(),
+                            line,
+                            message: format!(
+                                "probe sweep `NR1_CENTERS` misses the {iv}-byte stream IV \
+                                 length declared by sscrypto::method"
+                            ),
+                        });
+                    }
+                }
+                for &salt in &aead_salts {
+                    let center = salt + AEAD_CENTER_OFFSET;
+                    if !centers.contains(&center) {
+                        report.findings.push(Finding {
+                            rule: "C1",
+                            file: probe_rel.to_string(),
+                            line,
+                            message: format!(
+                                "probe sweep `NR1_CENTERS` misses {center} \
+                                 (salt {salt} + {AEAD_CENTER_OFFSET}) for the AEAD salt \
+                                 declared by sscrypto::method"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        match parse_int_const(probe, "NR2_LEN") {
+            None => report.findings.push(Finding {
+                rule: "C1",
+                file: probe_rel.to_string(),
+                line: 1,
+                message: "could not parse `NR2_LEN` to cross-check probe lengths".to_string(),
+            }),
+            Some((nr2, line)) => {
+                if let Some(&max_salt) = aead_salts.iter().max() {
+                    let need = max_salt + AEAD_THRESHOLD_OFFSET;
+                    if nr2 <= need {
+                        report.findings.push(Finding {
+                            rule: "C1",
+                            file: probe_rel.to_string(),
+                            line,
+                            message: format!(
+                                "`NR2_LEN` = {nr2} does not exceed the largest AEAD decrypt \
+                                 threshold salt+{AEAD_THRESHOLD_OFFSET} = {need}; long probes \
+                                 would never trigger the threshold reaction"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. The wire framing must derive salt lengths from Method::iv_len.
+    let wire_rel = "crates/shadowsocks/src/wire.rs";
+    if let Some(wire) = ws.sources.get(wire_rel) {
+        let iv_len_refs: usize = wire
+            .lines
+            .iter()
+            .map(|l| count_token(&l.code, ".iv_len()"))
+            .sum();
+        if iv_len_refs < 2 {
+            report.findings.push(Finding {
+                rule: "C1",
+                file: wire_rel.to_string(),
+                line: 1,
+                message: format!(
+                    "expected both wire constructions to take their IV/salt length from \
+                     `Method::iv_len()` (found {iv_len_refs} reference(s)); hardcoded \
+                     lengths drift from sscrypto::method"
+                ),
+            });
+        }
+        let has_salt_guard = wire
+            .lines
+            .iter()
+            .any(|l| l.code.contains("salt.len()") && l.code.contains(".iv_len()"));
+        if !has_salt_guard {
+            report.findings.push(Finding {
+                rule: "C1",
+                file: wire_rel.to_string(),
+                line: 1,
+                message: "missing the salt-length guard coupling `salt.len()` to \
+                          `Method::iv_len()`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// H1: member Cargo.toml dependencies must all be `workspace = true`.
+pub fn h1_workspace_deps(ws: &Workspace, report: &mut Report) -> Result<(), String> {
+    let mut manifests: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let root_manifest = ws.root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        manifests.push(("Cargo.toml".to_string(), root_manifest));
+    }
+    for c in &ws.crates {
+        manifests.push((
+            format!("crates/{}/Cargo.toml", c.name),
+            c.path.join("Cargo.toml"),
+        ));
+    }
+    for (rel, path) in manifests {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        report.files_scanned += 1;
+        h1_check_manifest(&rel, &text, report);
+    }
+    Ok(())
+}
+
+/// Check one manifest's dependency sections.
+fn h1_check_manifest(rel: &str, text: &str, report: &mut Report) {
+    #[derive(PartialEq)]
+    enum Section {
+        Other,
+        Deps,
+        /// `[dependencies.foo]` subtable: must contain `workspace = true`.
+        DepSubtable {
+            header_line: usize,
+            name: String,
+            satisfied: bool,
+        },
+    }
+    let mut section = Section::Other;
+    let flush = |section: &mut Section, report: &mut Report| {
+        if let Section::DepSubtable {
+            header_line,
+            name,
+            satisfied: false,
+        } = section
+        {
+            report.findings.push(Finding {
+                rule: "H1",
+                file: rel.to_string(),
+                line: *header_line,
+                message: format!(
+                    "dependency `{name}` does not use `workspace = true`; versions \
+                     belong in the root [workspace.dependencies]"
+                ),
+            });
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let has_allow = raw.contains("gfwlint: allow(H1)");
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut section, report);
+            let name = line.trim_matches(['[', ']']);
+            section = if name == "workspace.dependencies"
+                || name.starts_with("workspace.dependencies.")
+            {
+                Section::Other
+            } else if is_dep_section(name) {
+                Section::Deps
+            } else if let Some((table, dep)) = name.rsplit_once('.') {
+                if is_dep_section(table) {
+                    Section::DepSubtable {
+                        header_line: idx + 1,
+                        name: dep.to_string(),
+                        satisfied: false,
+                    }
+                } else {
+                    Section::Other
+                }
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        match &mut section {
+            Section::Other => {}
+            Section::DepSubtable { satisfied, .. } => {
+                if line.replace(' ', "") == "workspace=true" {
+                    *satisfied = true;
+                }
+            }
+            Section::Deps => {
+                let Some((key, _value)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                let ok = key.ends_with(".workspace") && line.replace(' ', "").ends_with("=true")
+                    || line.contains("workspace = true");
+                if !ok {
+                    let dep = key.split('.').next().unwrap_or(key);
+                    if has_allow {
+                        report.allows.push(AllowUse {
+                            rule: "H1".to_string(),
+                            file: rel.to_string(),
+                            line: idx + 1,
+                        });
+                        continue;
+                    }
+                    report.findings.push(Finding {
+                        rule: "H1",
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "dependency `{dep}` does not use `workspace = true`; versions \
+                             belong in the root [workspace.dependencies]"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    flush(&mut section, report);
+}
+
+fn is_dep_section(name: &str) -> bool {
+    matches!(
+        name,
+        "dependencies" | "dev-dependencies" | "build-dependencies"
+    ) || (name.starts_with("target.") && name.ends_with("dependencies"))
+}
+
+/// Count non-overlapping occurrences of `token` in `code`.
+pub fn count_token(code: &str, token: &str) -> usize {
+    let mut count = 0;
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        count += 1;
+        start += pos + token.len();
+    }
+    count
+}
+
+fn dedup_sorted(iter: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = iter.collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Extract the `(pattern, value, line)` arms of the `fn iv_len` match.
+fn parse_iv_len_arms(file: &SourceFile) -> Option<Vec<(String, usize, usize)>> {
+    let start = file
+        .lines
+        .iter()
+        .position(|l| l.code.contains("fn iv_len"))?;
+    // Capture the body of the function by brace counting.
+    let mut depth = 0i32;
+    let mut opened = false;
+    let mut body: Vec<(usize, String)> = Vec::new(); // (line idx, code)
+    'outer: for (idx, line) in file.lines.iter().enumerate().skip(start) {
+        let mut kept = String::new();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        body.push((idx, kept));
+                        break 'outer;
+                    }
+                }
+                _ => {
+                    if opened {
+                        kept.push(c);
+                    }
+                }
+            }
+        }
+        if opened {
+            body.push((idx, kept));
+        }
+    }
+    if body.is_empty() {
+        return None;
+    }
+    let mut arms = Vec::new();
+    let mut pattern = String::new();
+    for (idx, code) in body {
+        if let Some((before, after)) = code.split_once("=>") {
+            pattern.push(' ');
+            pattern.push_str(before);
+            let digits: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(value) = digits.parse::<usize>() {
+                arms.push((std::mem::take(&mut pattern), value, idx + 1));
+            } else {
+                pattern.clear();
+            }
+        } else {
+            pattern.push(' ');
+            pattern.push_str(&code);
+        }
+    }
+    Some(arms)
+}
+
+/// Parse `NAME ... = [a, b, c]`, which may span lines. Returns the
+/// values and the 1-based line of the `NAME` token.
+fn parse_array_const(file: &SourceFile, name: &str) -> Option<(Vec<usize>, usize)> {
+    let start = file.lines.iter().position(|l| has_token(&l.code, name))?;
+    // Accumulate lines until a `]` shows up after the `=`, so the
+    // `[usize; N]` type annotation is not mistaken for the initializer.
+    let mut text = String::new();
+    for line in &file.lines[start..] {
+        text.push_str(&line.code);
+        text.push(' ');
+        if let Some(eq) = text.find('=') {
+            if text[eq..].contains(']') {
+                break;
+            }
+        }
+    }
+    let eq = text.find('=')?;
+    let open = text[eq..].find('[')? + eq;
+    let close = text[open..].find(']')? + open;
+    let mut values = Vec::new();
+    for part in text[open + 1..close].split(',') {
+        let digits: String = part
+            .trim()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if !digits.is_empty() {
+            values.push(digits.parse().ok()?);
+        }
+    }
+    Some((values, start + 1))
+}
+
+/// Parse `NAME ... = <int>`. Returns the value and 1-based line.
+fn parse_int_const(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let idx = file
+        .lines
+        .iter()
+        .position(|l| has_token(&l.code, name) && l.code.contains('='))?;
+    let code = &file.lines[idx].code;
+    let after = &code[code.find('=')? + 1..];
+    let digits: String = after
+        .trim()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    Some((digits.parse().ok()?, idx + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_token_counts() {
+        assert_eq!(count_token("a.unwrap().unwrap()", ".unwrap()"), 2);
+        assert_eq!(count_token("no panics here", "panic!"), 0);
+    }
+
+    #[test]
+    fn iv_len_arm_parser() {
+        let src = "impl Method {\n    pub fn iv_len(&self) -> usize {\n        match self {\n            Method::ChaCha20 => 8,\n            Method::A\n            | Method::B => 16,\n            Method::ChaCha20Ietf => 12,\n        }\n    }\n}\n";
+        let f = SourceFile::scan("m.rs", src);
+        let arms = parse_iv_len_arms(&f).unwrap();
+        assert_eq!(arms.len(), 3);
+        assert!(has_token(&arms[0].0, "Method::ChaCha20"));
+        assert_eq!(arms[0].1, 8);
+        assert_eq!(arms[0].2, 4);
+        assert!(has_token(&arms[1].0, "Method::B"));
+        assert_eq!(arms[1].1, 16);
+        assert_eq!(arms[2].1, 12);
+    }
+
+    #[test]
+    fn array_and_int_consts() {
+        let src = "/// doc\npub const NR1_CENTERS: [usize; 3] = [8,\n    12, 16];\npub const NR2_LEN: usize = 221;\n";
+        let f = SourceFile::scan("p.rs", src);
+        let (vals, line) = parse_array_const(&f, "NR1_CENTERS").unwrap();
+        assert_eq!(vals, vec![8, 12, 16]);
+        assert_eq!(line, 2);
+        let (v, line) = parse_int_const(&f, "NR2_LEN").unwrap();
+        assert_eq!(v, 221);
+        assert_eq!(line, 4);
+    }
+
+    #[test]
+    fn h1_manifest_check() {
+        let mut report = Report::default();
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\ngood.workspace = true\nalso = { workspace = true, features = [\"y\"] }\nbad = \"1.0\"\npathdep = { path = \"../other\" }\n\n[dev-dependencies]\nok.workspace = true\n";
+        h1_check_manifest("crates/x/Cargo.toml", toml, &mut report);
+        let deps: Vec<&str> = report
+            .findings
+            .iter()
+            .map(|f| {
+                assert_eq!(f.rule, "H1");
+                f.message.split('`').nth(1).unwrap()
+            })
+            .collect();
+        assert_eq!(deps, vec!["bad", "pathdep"]);
+        assert_eq!(report.findings[0].line, 7);
+    }
+
+    #[test]
+    fn h1_subtable_and_allow() {
+        let mut report = Report::default();
+        let toml = "[dependencies.foo]\nversion = \"1\"\n\n[dependencies]\nlegacy = \"0.1\" # gfwlint: allow(H1)\n";
+        h1_check_manifest("Cargo.toml", toml, &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("`foo`"));
+        assert_eq!(report.allows.len(), 1);
+        assert_eq!(report.allows[0].line, 5);
+    }
+
+    #[test]
+    fn h1_workspace_dependencies_exempt() {
+        let mut report = Report::default();
+        let toml = "[workspace.dependencies]\nrand = { path = \"vendor/rand\" }\nserde = { path = \"vendor/serde\", features = [\"derive\"] }\n";
+        h1_check_manifest("Cargo.toml", toml, &mut report);
+        assert!(report.findings.is_empty());
+    }
+}

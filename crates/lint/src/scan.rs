@@ -1,0 +1,381 @@
+//! A small hand-rolled Rust source scanner.
+//!
+//! The rules in this linter are token-level, not AST-level, so all they
+//! need from a source file is, per line:
+//!
+//! * the *code text* — the line with comments and string/char literal
+//!   contents blanked out, so a `thread_rng` inside a doc comment or a
+//!   format string never trips a rule;
+//! * whether the line sits inside a `#[cfg(test)]` region (the panic
+//!   budget only counts non-test code);
+//! * any `// gfwlint: allow(RULE)` escapes attached to the line.
+//!
+//! The scanner is a line-oriented state machine that carries block
+//! comment depth and string state across lines, and understands raw
+//! strings (`r#"…"#`), byte strings and the char-literal/lifetime
+//! ambiguity well enough for this codebase.
+
+use std::path::Path;
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// The original line text.
+    pub raw: String,
+    /// The line with comments and literal contents replaced by spaces.
+    /// Columns are preserved, so byte offsets into `code` line up with
+    /// `raw`.
+    pub code: String,
+    /// True when the line is inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+    /// Rule IDs suppressed on this line via `// gfwlint: allow(...)`.
+    pub allows: Vec<String>,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// The scanned lines, 0-indexed (line numbers in findings are 1-based).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum StrState {
+    None,
+    /// Inside a normal `"…"` (or `b"…"`) string.
+    Normal,
+    /// Inside a raw string with this many `#`s.
+    Raw(usize),
+}
+
+impl SourceFile {
+    /// Scan `text` as the contents of `rel`.
+    pub fn scan(rel: &str, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut depth = 0usize; // block comment nesting
+        let mut strst = StrState::None;
+        let mut pending_allows: Vec<String> = Vec::new();
+
+        for raw in text.lines() {
+            let (code, comment) = strip_line(raw, &mut depth, &mut strst);
+            let mut allows = parse_allows(&comment);
+            let code_blank = code.trim().is_empty();
+            if code_blank {
+                // A comment-only line: its allows apply to the next code line.
+                pending_allows.append(&mut allows);
+            } else {
+                allows.append(&mut pending_allows);
+            }
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                in_test: false,
+                allows,
+            });
+        }
+
+        let mut file = SourceFile {
+            rel: rel.to_string(),
+            lines,
+        };
+        mark_test_regions(&mut file);
+        file
+    }
+
+    /// Load and scan a file on disk. `root` is the workspace root used
+    /// to compute the relative path.
+    pub fn load(root: &Path, path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(SourceFile::scan(&rel, &text))
+    }
+}
+
+/// Strip one line, updating cross-line state. Returns (code, comment-text).
+fn strip_line(raw: &str, depth: &mut usize, strst: &mut StrState) -> (String, String) {
+    let chars: Vec<char> = raw.chars().collect();
+    let n = chars.len();
+    let mut out = vec![' '; n];
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < n {
+        if *depth > 0 {
+            if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                *depth += 1;
+                comment.push_str("/*");
+                i += 2;
+            } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                *depth -= 1;
+                i += 2;
+            } else {
+                comment.push(chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+        match *strst {
+            StrState::Normal => {
+                if chars[i] == '\\' {
+                    i += 2;
+                } else if chars[i] == '"' {
+                    *strst = StrState::None;
+                    out[i] = '"';
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            StrState::Raw(hashes) => {
+                if chars[i] == '"'
+                    && chars[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
+                {
+                    *strst = StrState::None;
+                    out[i] = '"';
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            StrState::None => {}
+        }
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            comment.extend(&chars[i..]);
+            break;
+        }
+        // Block comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            *depth = 1;
+            i += 2;
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, br"…", b"…".
+        if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+            // Position of the would-be opening quote and whether an `r`
+            // was part of the prefix.
+            let (j, is_raw) = match (c, chars.get(i + 1)) {
+                ('b', Some('r')) => (i + 2, true),
+                ('b', _) => (i + 1, false),
+                _ => (i + 1, true),
+            };
+            let hashes = if is_raw {
+                chars[j.min(n)..].iter().take_while(|&&c| c == '#').count()
+            } else {
+                0
+            };
+            let k = j + hashes;
+            if k < n && chars[k] == '"' {
+                out[k] = '"';
+                *strst = if is_raw {
+                    StrState::Raw(hashes)
+                } else {
+                    StrState::Normal
+                };
+                i = k + 1;
+                continue;
+            }
+        }
+        // Plain string.
+        if c == '"' {
+            out[i] = '"';
+            *strst = StrState::Normal;
+            i += 1;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: skip to closing quote.
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' {
+                // 'x' char literal.
+                i += 3;
+                continue;
+            }
+            // Lifetime: drop the quote, keep scanning the identifier.
+            i += 1;
+            continue;
+        }
+        out[i] = c;
+        i += 1;
+    }
+    (out.into_iter().collect(), comment)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Parse `gfwlint: allow(D1, P1)` escapes out of a comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("gfwlint: allow(") {
+        let after = &rest[pos + "gfwlint: allow(".len()..];
+        if let Some(end) = after.find(')') {
+            for id in after[..end].split(',') {
+                let id = id.trim();
+                if !id.is_empty() {
+                    out.push(id.to_string());
+                }
+            }
+            rest = &after[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items. A region starts at the
+/// attribute and runs to the close of the brace block that follows it.
+fn mark_test_regions(file: &mut SourceFile) {
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        if file.lines[i].code.contains("#[cfg(test)]") {
+            // Find the opening brace, then its match.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < n {
+                for c in file.lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    if opened && depth == 0 {
+                        break 'outer;
+                    }
+                }
+                j += 1;
+            }
+            let end = j.min(n - 1);
+            for line in &mut file.lines[i..=end] {
+                line.in_test = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Does `code` contain `token` at an identifier boundary on both sides?
+pub fn has_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + token.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "let x = 1; // thread_rng\n/* Instant::now */ let y = 2;\n",
+        );
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert!(!f.lines[0].code.contains("thread_rng"));
+        assert!(!f.lines[1].code.contains("Instant"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_string_contents_including_raw_and_multiline() {
+        let src = "let a = \"thread_rng\";\nlet b = r#\"Instant::now\"#;\nlet c = \"spans\nlines thread_rng\";\nlet d = 1;\n";
+        let f = SourceFile::scan("t.rs", src);
+        for line in &f.lines[..4] {
+            assert!(!line.code.contains("thread_rng"), "{:?}", line.code);
+            assert!(!line.code.contains("Instant"), "{:?}", line.code);
+        }
+        assert!(f.lines[4].code.contains("let d = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { thread_rng(x) }\n",
+        );
+        assert!(f.lines[0].code.contains("thread_rng"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let f = SourceFile::scan("t.rs", "let q = '\"'; let z = thread_rng();\n");
+        assert!(f.lines[0].code.contains("thread_rng"));
+        // The quote char literal must not open a string.
+        assert!(f.lines[0].code.contains("let z"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn allows_attach_to_line_or_next_line() {
+        let src = "let a = now(); // gfwlint: allow(D1)\n// gfwlint: allow(P1, C1)\nlet b = 1;\n";
+        let f = SourceFile::scan("t.rs", src);
+        assert_eq!(f.lines[0].allows, vec!["D1"]);
+        assert!(f.lines[1].allows.is_empty() || f.lines[1].code.trim().is_empty());
+        assert_eq!(f.lines[2].allows, vec!["P1", "C1"]);
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("Method::ChaCha20 => 8", "ChaCha20"));
+        assert!(!has_token("Method::ChaCha20Ietf => 12", "ChaCha20"));
+        assert!(!has_token("XChaCha20IetfPoly1305", "ChaCha20IetfPoly1305"));
+        assert!(has_token(
+            "Method::ChaCha20IetfPoly1305 => 32",
+            "ChaCha20IetfPoly1305"
+        ));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture sim crate with a truncated NR2 probe length.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod probe;

@@ -1,0 +1,7 @@
+//! Probe constants: NR1 centers are fine, but NR2 is too short.
+
+/// Correct trio centers.
+pub const NR1_CENTERS: [usize; 7] = [8, 12, 16, 22, 33, 41, 49];
+
+/// Too short: must exceed max AEAD salt (32) + 35 = 67.
+pub const NR2_LEN: usize = 60;

@@ -1,0 +1,6 @@
+//! Fixture protocol crate whose framing hardcodes lengths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;

@@ -1,0 +1,8 @@
+//! Wire framing that hardcodes a salt length instead of consulting
+//! the method table — C1 requires `.iv_len()` references and a
+//! salt-length guard.
+
+/// Hardcoded salt handling; never consults `Method::iv_len`.
+pub fn split_salt(buf: &[u8]) -> (&[u8], &[u8]) {
+    buf.split_at(32)
+}

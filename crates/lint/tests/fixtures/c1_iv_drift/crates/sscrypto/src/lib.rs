@@ -1,0 +1,6 @@
+//! Fixture crypto crate with a drifted IV table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod method;

@@ -1,0 +1,16 @@
+//! Fixture sim crate: clean under every rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod probe;
+
+/// Test-rig glue, deliberately exempted from the determinism rule.
+pub fn wall_clock_note() -> std::time::Instant {
+    std::time::Instant::now() // gfwlint: allow(D1)
+}
+
+/// Strings and comments never trip D1: "thread_rng" / Instant::now.
+pub fn doc_only() -> &'static str {
+    "SystemTime::now is fine inside a string"
+}

@@ -1,0 +1,13 @@
+//! Wire framing that derives lengths from `Method::iv_len`.
+
+use sscrypto::method::Method;
+
+/// Salt length must come from the method table, never a literal.
+pub fn check_salt(salt: &[u8], method: &Method) {
+    assert_eq!(salt.len(), method.iv_len(), "bad salt length");
+}
+
+/// Header size of the AEAD construction.
+pub fn header_len(method: &Method) -> usize {
+    method.iv_len() + 2 + 16
+}

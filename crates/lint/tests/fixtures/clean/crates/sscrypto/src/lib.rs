@@ -1,0 +1,6 @@
+//! Fixture crypto crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod method;

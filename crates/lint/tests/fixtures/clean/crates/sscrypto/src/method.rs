@@ -1,0 +1,40 @@
+//! Cipher method registry with the paper-correct IV/salt table.
+
+/// Cipher methods (subset of fields needed by the lint fixtures).
+#[allow(missing_docs)]
+pub enum Method {
+    Aes128Ctr,
+    Aes192Ctr,
+    Aes256Ctr,
+    Aes128Cfb,
+    Aes192Cfb,
+    Aes256Cfb,
+    ChaCha20,
+    ChaCha20Ietf,
+    Rc4Md5,
+    Aes128Gcm,
+    Aes192Gcm,
+    Aes256Gcm,
+    ChaCha20IetfPoly1305,
+    XChaCha20IetfPoly1305,
+}
+
+impl Method {
+    /// Stream IV or AEAD salt length in bytes.
+    pub fn iv_len(&self) -> usize {
+        match self {
+            Method::ChaCha20 => 8,
+            Method::ChaCha20Ietf => 12,
+            Method::Aes128Ctr
+            | Method::Aes192Ctr
+            | Method::Aes256Ctr
+            | Method::Aes128Cfb
+            | Method::Aes192Cfb
+            | Method::Aes256Cfb
+            | Method::Rc4Md5 => 16,
+            Method::Aes128Gcm => 16,
+            Method::Aes192Gcm => 24,
+            Method::Aes256Gcm | Method::ChaCha20IetfPoly1305 | Method::XChaCha20IetfPoly1305 => 32,
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture sim crate whose scheduler reaches for ambient randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scheduler;

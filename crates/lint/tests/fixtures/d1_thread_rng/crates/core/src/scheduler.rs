@@ -1,0 +1,15 @@
+//! Event scheduler — seeded with ambient entropy, which D1 forbids.
+
+use rand::thread_rng;
+use rand::Rng;
+
+/// Pick a jitter value for the next probe event.
+pub fn probe_jitter_ms() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0..50)
+}
+
+/// Stamp an event with wall-clock time (also forbidden in sim crates).
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,4 @@
+//! A crate that forgot its lint attributes.
+
+/// Nothing interesting.
+pub fn noop() {}

@@ -1,0 +1,7 @@
+//! Fixture app crate; its manifest is the H1 violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Nothing interesting.
+pub fn noop() {}

@@ -1,0 +1,19 @@
+//! Fixture sim crate with two panic sites against a budget of one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Two panic sites in non-test code: budget says one.
+pub fn sum(a: Option<u32>, b: Option<u32>) -> u32 {
+    a.unwrap() + b.expect("b")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_free() {
+        assert_eq!(super::sum(Some(1), Some(2)), 3);
+        let v: Option<u8> = Some(9);
+        assert_eq!(v.unwrap(), 9);
+    }
+}

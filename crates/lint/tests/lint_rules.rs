@@ -1,0 +1,240 @@
+//! End-to-end rule tests against the fixture workspaces under
+//! `tests/fixtures/`, asserting exact rule IDs and `file:line` spans.
+
+use gfw_lint::report::{render_human, render_json};
+use gfw_lint::{bless, fix::fix, run, Options, Report};
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Report {
+    run(&Options {
+        root: fixture_root(name),
+    })
+    .expect("lint run failed")
+}
+
+/// `(rule, file, line)` triples in report order.
+fn spans(report: &Report) -> Vec<(&str, &str, usize)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.file.as_str(), f.line))
+        .collect()
+}
+
+/// Recursively copy a fixture into a scratch dir so `--fix` / `--bless`
+/// can mutate it.
+fn copy_to_temp(name: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("gfwlint-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    copy_tree(&fixture_root(name), &dst).expect("fixture copy failed");
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to)?;
+        } else {
+            std::fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = lint_fixture("clean");
+    assert!(
+        report.is_clean(),
+        "expected clean, got:\n{}",
+        render_human(&report)
+    );
+    // The one D1 escape in core/src/lib.rs is honored and reported.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "D1");
+    assert_eq!(report.allows[0].file, "crates/core/src/lib.rs");
+    assert_eq!(report.allows[0].line, 10);
+    // Panic counts reflect the single budgeted unwrap in probe.rs.
+    assert_eq!(report.panic_counts.get("core"), Some(&1));
+    assert_eq!(report.panic_counts.get("sscrypto"), Some(&0));
+}
+
+#[test]
+fn d1_flags_thread_rng_and_wall_clock_in_scheduler() {
+    // ISSUE acceptance: seeding a `thread_rng()` call into a
+    // scheduler.rs-like file in a sim crate must fail the lint.
+    let report = lint_fixture("d1_thread_rng");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("D1", "crates/core/src/scheduler.rs", 3),
+            ("D1", "crates/core/src/scheduler.rs", 8),
+            ("D1", "crates/core/src/scheduler.rs", 14),
+        ],
+        "got:\n{}",
+        render_human(&report)
+    );
+    assert!(report.findings[0].message.contains("`thread_rng`"));
+    assert!(report.findings[2].message.contains("`SystemTime::now`"));
+}
+
+#[test]
+fn d2_flags_missing_crate_attributes() {
+    let report = lint_fixture("d2_missing_attrs");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("D2", "crates/noattrs/src/lib.rs", 1),
+            ("D2", "crates/noattrs/src/lib.rs", 1),
+        ]
+    );
+    assert!(report.findings[0]
+        .message
+        .contains("#![forbid(unsafe_code)]"));
+    assert!(report.findings[1]
+        .message
+        .contains("#![warn(missing_docs)]"));
+}
+
+#[test]
+fn p1_flags_count_over_budget() {
+    let report = lint_fixture("p1_over_budget");
+    assert_eq!(spans(&report), vec![("P1", "crates/core/src/lib.rs", 1)]);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("2 explicit panic sites"), "message: {msg}");
+    assert!(msg.contains("budget of 1"), "message: {msg}");
+    // The unwraps inside #[cfg(test)] are not counted.
+    assert_eq!(report.panic_counts.get("core"), Some(&2));
+}
+
+#[test]
+fn c1_flags_iv_drift_short_probe_and_hardcoded_wire() {
+    // ISSUE acceptance: editing `Method::ChaCha20Ietf`'s IV length in a
+    // method.rs-like file must fail the lint at the drifted arm.
+    let report = lint_fixture("c1_iv_drift");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("C1", "crates/sscrypto/src/method.rs", 27),
+            ("C1", "crates/core/src/probe.rs", 7),
+            ("C1", "crates/shadowsocks/src/wire.rs", 1),
+            ("C1", "crates/shadowsocks/src/wire.rs", 1),
+        ],
+        "got:\n{}",
+        render_human(&report)
+    );
+    let drift = &report.findings[0].message;
+    assert!(drift.contains("`Method::ChaCha20Ietf`"), "message: {drift}");
+    assert!(drift.contains("16-byte IV"), "message: {drift}");
+    assert!(drift.contains("requires 12"), "message: {drift}");
+    assert!(report.findings[1].message.contains("`NR2_LEN` = 60"));
+    assert!(report.findings[2].message.contains("0 reference(s)"));
+    assert!(report.findings[3].message.contains("salt-length guard"));
+}
+
+#[test]
+fn h1_flags_versioned_and_path_deps() {
+    let report = lint_fixture("h1_version_dep");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("H1", "crates/app/Cargo.toml", 7),
+            ("H1", "crates/app/Cargo.toml", 8),
+        ]
+    );
+    assert!(report.findings[0].message.contains("`rand`"));
+    assert!(report.findings[1].message.contains("`bytes`"));
+}
+
+#[test]
+fn fix_inserts_missing_attributes() {
+    let root = copy_to_temp("d2_missing_attrs");
+    let opts = Options { root: root.clone() };
+    let (applied, after) = fix(&opts).expect("fix failed");
+    assert_eq!(applied.len(), 2);
+    assert!(after.is_clean(), "after fix:\n{}", render_human(&after));
+    let text = std::fs::read_to_string(root.join("crates/noattrs/src/lib.rs")).unwrap();
+    assert!(text.contains("#![forbid(unsafe_code)]"));
+    assert!(text.contains("#![warn(missing_docs)]"));
+    // The doc header stays first.
+    assert!(text.starts_with("//!"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fix_rewrites_only_workspace_defined_deps() {
+    let root = copy_to_temp("h1_version_dep");
+    let opts = Options { root: root.clone() };
+    let (applied, after) = fix(&opts).expect("fix failed");
+    // `rand` is defined in the root [workspace.dependencies]; `bytes`
+    // is not, so its finding must be left for a human.
+    assert_eq!(applied.len(), 1);
+    assert!(applied[0].what.contains("`rand`"));
+    assert_eq!(spans(&after), vec![("H1", "crates/app/Cargo.toml", 8)]);
+    let text = std::fs::read_to_string(root.join("crates/app/Cargo.toml")).unwrap();
+    assert!(text.contains("rand.workspace = true"));
+    assert!(text.contains("bytes = { path = \"../bytes\" }"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn bless_refuses_to_raise_budgets() {
+    let root = copy_to_temp("p1_over_budget");
+    let err = bless(&root).expect_err("bless should refuse to raise a budget");
+    assert!(err.contains("core: 2 > 1"), "error: {err}");
+    // The refusal must not touch the checked-in baseline.
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap();
+    assert!(text.contains("core = 1"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn bless_creates_missing_baseline() {
+    let root = copy_to_temp("clean");
+    std::fs::remove_file(root.join("lint-baseline.toml")).unwrap();
+    let before = run(&Options { root: root.clone() }).unwrap();
+    assert_eq!(spans(&before), vec![("P1", "lint-baseline.toml", 0)]);
+    let summary = bless(&root).expect("bless failed");
+    assert!(summary.contains("core = 1"), "summary: {summary}");
+    let after = run(&Options { root: root.clone() }).unwrap();
+    assert!(after.is_clean(), "after bless:\n{}", render_human(&after));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_output_carries_rules_spans_and_clean_flag() {
+    let report = lint_fixture("d1_thread_rng");
+    let json = render_json(&report);
+    assert!(json.contains("\"rule\": \"D1\""));
+    assert!(json.contains("\"file\": \"crates/core/src/scheduler.rs\""));
+    assert!(json.contains("\"line\": 3"));
+    assert!(json.contains("\"clean\": false"));
+    let clean = render_json(&lint_fixture("clean"));
+    assert!(clean.contains("\"clean\": true"));
+    assert!(
+        clean.contains("\"rule\": \"D1\""),
+        "allows carry their rule"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The repository itself must pass its own linter: this is the same
+    // invariant ci.sh enforces.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&Options { root }).expect("lint run failed");
+    assert!(
+        report.is_clean(),
+        "repository lint findings:\n{}",
+        render_human(&report)
+    );
+}

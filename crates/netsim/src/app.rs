@@ -131,8 +131,15 @@ impl<'a> Ctx<'a> {
     pub fn connect(&mut self, from: Ipv4, to: SocketAddr, tuning: TcpTuning) -> ConnId {
         let conn = ConnId(*self.next_conn_id);
         *self.next_conn_id += 1;
-        self.commands
-            .push((self.app, Command::Connect { from, to, tuning, conn }));
+        self.commands.push((
+            self.app,
+            Command::Connect {
+                from,
+                to,
+                tuning,
+                conn,
+            },
+        ));
         conn
     }
 
@@ -165,17 +172,22 @@ mod tests {
             commands: &mut commands,
             next_conn_id: &mut next,
         };
-        let c1 = ctx.connect(Ipv4::new(1, 1, 1, 1), (Ipv4::new(2, 2, 2, 2), 80), TcpTuning::default());
-        let c2 = ctx.connect(Ipv4::new(1, 1, 1, 1), (Ipv4::new(2, 2, 2, 2), 80), TcpTuning::default());
+        let c1 = ctx.connect(
+            Ipv4::new(1, 1, 1, 1),
+            (Ipv4::new(2, 2, 2, 2), 80),
+            TcpTuning::default(),
+        );
+        let c2 = ctx.connect(
+            Ipv4::new(1, 1, 1, 1),
+            (Ipv4::new(2, 2, 2, 2), 80),
+            TcpTuning::default(),
+        );
         assert_eq!(c1, ConnId(7));
         assert_eq!(c2, ConnId(8));
         ctx.send(c1, vec![1, 2, 3]);
         ctx.set_timer(Duration::from_secs(1), 99);
         assert_eq!(commands.len(), 4);
         assert!(matches!(commands[2].1, Command::Send(ConnId(7), _)));
-        assert!(matches!(
-            commands[3].1,
-            Command::SetTimer { token: 99, .. }
-        ));
+        assert!(matches!(commands[3].1, Command::SetTimer { token: 99, .. }));
     }
 }

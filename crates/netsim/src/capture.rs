@@ -8,11 +8,14 @@
 use crate::conn::ConnId;
 use crate::packet::{Ipv4, Packet};
 
+/// A capture's stored-packet predicate.
+type PacketFilter = Box<dyn Fn(&Packet) -> bool>;
+
 /// An append-only packet log with a filter predicate.
 pub struct Capture {
     /// Only packets matching this filter are stored (e.g. "addressed to
     /// my server"). `None` stores everything.
-    filter: Option<Box<dyn Fn(&Packet) -> bool>>,
+    filter: Option<PacketFilter>,
     packets: Vec<Packet>,
 }
 
@@ -49,7 +52,7 @@ impl Capture {
 
     /// Offer a packet to the capture.
     pub fn observe(&mut self, pkt: &Packet) {
-        if self.filter.as_ref().map_or(true, |f| f(pkt)) {
+        if self.filter.as_ref().is_none_or(|f| f(pkt)) {
             self.packets.push(pkt.clone());
         }
     }
@@ -77,9 +80,7 @@ impl Capture {
     /// SYN packets (handshake openers) — the packets Fig 5 and Fig 6
     /// fingerprint.
     pub fn syns(&self) -> impl Iterator<Item = &Packet> {
-        self.packets
-            .iter()
-            .filter(|p| p.flags.syn && !p.flags.ack)
+        self.packets.iter().filter(|p| p.flags.syn && !p.flags.ack)
     }
 
     /// Data-carrying (PSH/ACK) packets.

@@ -7,9 +7,7 @@ use crate::packet::SocketAddr;
 use serde::{Deserialize, Serialize};
 
 /// Opaque connection identifier, unique for the lifetime of a simulator.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ConnId(pub u64);
 
 /// Per-connection overrides of the initiating host's defaults. The GFW

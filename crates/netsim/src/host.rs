@@ -196,8 +196,14 @@ mod tests {
 
     #[test]
     fn ts_clock_slopes() {
-        let c250 = TsClock { offset: 0, rate_hz: 250 };
-        let c1000 = TsClock { offset: 0, rate_hz: 1000 };
+        let c250 = TsClock {
+            offset: 0,
+            rate_hz: 250,
+        };
+        let c1000 = TsClock {
+            offset: 0,
+            rate_hz: 1000,
+        };
         let t = SimTime::ZERO + Duration::from_secs(10);
         assert_eq!(c250.tsval(t), 2500);
         assert_eq!(c1000.tsval(t), 10000);
@@ -206,7 +212,10 @@ mod tests {
     #[test]
     fn ts_clock_wraps() {
         // Fig 6 shows sequences wrapping at 2^32 - 1.
-        let c = TsClock { offset: u32::MAX - 100, rate_hz: 250 };
+        let c = TsClock {
+            offset: u32::MAX - 100,
+            rate_hz: 250,
+        };
         let t = SimTime::ZERO + Duration::from_secs(1);
         assert_eq!(c.tsval(t), 149); // (2^32 - 101 + 250) mod 2^32
     }

@@ -89,12 +89,18 @@ mod tests {
     #[test]
     fn degenerate_probabilities() {
         let mut rng = StdRng::seed_from_u64(2);
-        let always = InternetModel { p_refused: 1.0, ..Default::default() };
+        let always = InternetModel {
+            p_refused: 1.0,
+            ..Default::default()
+        };
         assert!(matches!(
             always.outcome((Ipv4::new(1, 1, 1, 1), 1), &mut rng),
             RemoteOutcome::Refused { .. }
         ));
-        let never = InternetModel { p_refused: 0.0, ..Default::default() };
+        let never = InternetModel {
+            p_refused: 0.0,
+            ..Default::default()
+        };
         assert_eq!(
             never.outcome((Ipv4::new(1, 1, 1, 1), 1), &mut rng),
             RemoteOutcome::BlackHole

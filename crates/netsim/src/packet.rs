@@ -65,17 +65,53 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// SYN only (client handshake opener).
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, psh: false, fin: false, rst: false };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        psh: false,
+        fin: false,
+        rst: false,
+    };
     /// SYN-ACK.
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, psh: false, fin: false, rst: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        psh: false,
+        fin: false,
+        rst: false,
+    };
     /// Pure ACK.
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, psh: false, fin: false, rst: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        psh: false,
+        fin: false,
+        rst: false,
+    };
     /// PSH-ACK (data).
-    pub const PSH_ACK: TcpFlags = TcpFlags { syn: false, ack: true, psh: true, fin: false, rst: false };
+    pub const PSH_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        psh: true,
+        fin: false,
+        rst: false,
+    };
     /// FIN-ACK.
-    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, psh: false, fin: true, rst: false };
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        psh: false,
+        fin: true,
+        rst: false,
+    };
     /// RST.
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, psh: false, fin: false, rst: true };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        psh: false,
+        fin: false,
+        rst: true,
+    };
 }
 
 impl std::fmt::Display for TcpFlags {

@@ -401,11 +401,19 @@ impl Simulator {
             };
             // RSTs carry no timestamp option (RFC 7323; the paper's
             // TSval fingerprinting relies on non-RST segments).
-            let tsval = if flags.rst { None } else { Some(clock.tsval(self.now)) };
+            let tsval = if flags.rst {
+                None
+            } else {
+                Some(clock.tsval(self.now))
+            };
             (ttl, ip_id, tsval)
         } else {
             let id = self.rng.gen();
-            let ts = if flags.rst { None } else { Some(self.rng.gen()) };
+            let ts = if flags.rst {
+                None
+            } else {
+                Some(self.rng.gen())
+            };
             (64, id, ts)
         };
 
@@ -481,7 +489,12 @@ impl Simulator {
             Command::Send(conn, data) => self.do_send(owner, conn, data),
             Command::Fin(conn) => self.do_fin(owner, conn),
             Command::Rst(conn) => self.do_rst(owner, conn),
-            Command::Connect { from, to, tuning, conn } => {
+            Command::Connect {
+                from,
+                to,
+                tuning,
+                conn,
+            } => {
                 self.open_connection(owner, from, to, tuning, conn);
             }
             Command::SetTimer { at, token } => {
@@ -497,7 +510,9 @@ impl Simulator {
     }
 
     fn do_send(&mut self, owner: AppId, conn: ConnId, data: Vec<u8>) {
-        let Some(c) = self.conns.get(&conn) else { return };
+        let Some(c) = self.conns.get(&conn) else {
+            return;
+        };
         if c.is_closed() || data.is_empty() {
             return;
         }
@@ -516,8 +531,16 @@ impl Simulator {
                 None => self.config.mss,
             }
         };
-        let mut seq = if from_server { c.server_seq } else { c.client_seq };
-        let ack = if from_server { c.client_seq } else { c.server_seq };
+        let mut seq = if from_server {
+            c.server_seq
+        } else {
+            c.client_seq
+        };
+        let ack = if from_server {
+            c.client_seq
+        } else {
+            c.server_seq
+        };
         let total = data.len();
         let mut offset = 0usize;
         let mut i = 0u64;
@@ -525,7 +548,7 @@ impl Simulator {
             let take = cap.min(total - offset);
             let chunk = Bytes::copy_from_slice(&data[offset..offset + take]);
             // Small spacing between segments stands in for ACK pacing.
-            let spacing = Duration::from_micros(10).mul(i);
+            let spacing = Duration::from_micros(10) * i;
             self.emit(
                 conn,
                 src,
@@ -551,7 +574,9 @@ impl Simulator {
     }
 
     fn do_fin(&mut self, owner: AppId, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else { return };
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if c.is_closed() {
             return;
         }
@@ -587,7 +612,9 @@ impl Simulator {
     }
 
     fn do_rst(&mut self, owner: AppId, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else { return };
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if c.is_closed() {
             return;
         }
@@ -597,7 +624,11 @@ impl Simulator {
         } else {
             (c.client, c.server)
         };
-        let seq = if from_server { c.server_seq } else { c.client_seq };
+        let seq = if from_server {
+            c.server_seq
+        } else {
+            c.client_seq
+        };
         self.emit(
             conn,
             src,
@@ -690,7 +721,9 @@ impl Simulator {
         if pkt.flags.rst {
             let was_syn_sent = c.state == ConnState::SynSent;
             c.state = ConnState::Closed;
-            c.close_reason = Some(CloseReason::Rst { by_client: !to_server });
+            c.close_reason = Some(CloseReason::Rst {
+                by_client: !to_server,
+            });
             let (client_app, server_app) = (c.client_app, c.server_app);
             self.conns.remove(&conn);
             self.server_notified.remove(&conn);
@@ -699,7 +732,13 @@ impl Simulator {
                     self.dispatch(sa, AppEvent::PeerRst { conn });
                 }
             } else if was_syn_sent {
-                self.dispatch(client_app, AppEvent::ConnectFailed { conn, refused: true });
+                self.dispatch(
+                    client_app,
+                    AppEvent::ConnectFailed {
+                        conn,
+                        refused: true,
+                    },
+                );
             } else {
                 self.dispatch(client_app, AppEvent::PeerRst { conn });
             }
@@ -750,7 +789,11 @@ impl Simulator {
                     c.state = ConnState::HalfClosed { by_client };
                 }
             }
-            let target = if to_server { c.server_app } else { Some(c.client_app) };
+            let target = if to_server {
+                c.server_app
+            } else {
+                Some(c.client_app)
+            };
             if fully_closed {
                 self.conns.remove(&conn);
                 self.server_notified.remove(&conn);
@@ -779,7 +822,11 @@ impl Simulator {
                 }
             }
             let c = self.conns.get(&conn).unwrap();
-            let target = if to_server { c.server_app } else { Some(c.client_app) };
+            let target = if to_server {
+                c.server_app
+            } else {
+                Some(c.client_app)
+            };
             let (peer, local) = if to_server {
                 (c.client, c.server)
             } else {
@@ -789,7 +836,13 @@ impl Simulator {
                 if to_server && self.server_notified.insert(conn) {
                     self.dispatch(app, AppEvent::ConnIncoming { conn, peer, local });
                 }
-                self.dispatch(app, AppEvent::Data { conn, data: pkt.payload.to_vec() });
+                self.dispatch(
+                    app,
+                    AppEvent::Data {
+                        conn,
+                        data: pkt.payload.to_vec(),
+                    },
+                );
             }
             return;
         }
@@ -826,7 +879,9 @@ impl Simulator {
                     }
                     None => 65535,
                 };
-                let Some(c) = self.conns.get_mut(&conn) else { return };
+                let Some(c) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 c.server_app = Some(app);
                 if window != 65535 {
                     c.client_send_cap = Some(window.max(1));
@@ -848,7 +903,9 @@ impl Simulator {
             }
             None => {
                 // Connection refused: host exists but nothing listens.
-                let Some(c) = self.conns.get(&conn) else { return };
+                let Some(c) = self.conns.get(&conn) else {
+                    return;
+                };
                 let (server, client) = (c.server, c.client);
                 let cack = c.client_seq;
                 self.emit(
@@ -867,25 +924,41 @@ impl Simulator {
     }
 
     fn handle_syn_timeout(&mut self, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else { return };
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if c.state == ConnState::SynSent {
             c.state = ConnState::Closed;
             c.close_reason = Some(CloseReason::SynTimeout);
             let app = c.client_app;
             self.conns.remove(&conn);
             self.server_notified.remove(&conn);
-            self.dispatch(app, AppEvent::ConnectFailed { conn, refused: false });
+            self.dispatch(
+                app,
+                AppEvent::ConnectFailed {
+                    conn,
+                    refused: false,
+                },
+            );
         }
     }
 
     fn handle_remote_refused(&mut self, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else { return };
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if c.state == ConnState::SynSent {
             c.state = ConnState::Closed;
             c.close_reason = Some(CloseReason::Refused);
             let app = c.client_app;
             self.conns.remove(&conn);
-            self.dispatch(app, AppEvent::ConnectFailed { conn, refused: true });
+            self.dispatch(
+                app,
+                AppEvent::ConnectFailed {
+                    conn,
+                    refused: true,
+                },
+            );
         }
     }
 }

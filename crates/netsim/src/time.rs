@@ -87,9 +87,12 @@ impl Duration {
     pub fn as_nanos(self) -> u64 {
         self.0
     }
+}
 
+impl std::ops::Mul<u64> for Duration {
+    type Output = Duration;
     /// Integer-scale the duration.
-    pub fn mul(self, k: u64) -> Duration {
+    fn mul(self, k: u64) -> Duration {
         Duration(self.0 * k)
     }
 }

@@ -45,10 +45,9 @@ impl App for Script {
                 ctx.fin(conn);
             }
             AppEvent::PeerRst { .. } => self.log.borrow_mut().push("peer_rst".into()),
-            AppEvent::ConnectFailed { refused, .. } => self
-                .log
-                .borrow_mut()
-                .push(format!("failed:{refused}")),
+            AppEvent::ConnectFailed { refused, .. } => {
+                self.log.borrow_mut().push(format!("failed:{refused}"))
+            }
             AppEvent::Timer { .. } => {}
         }
     }
@@ -77,7 +76,13 @@ fn server_rst_reaches_client_as_peer_rst() {
         send_on_connect: Some(vec![1, 2, 3]),
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 1), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 1),
+        TcpTuning::default(),
+    );
     sim.run();
     assert_eq!(clog.borrow().clone(), vec!["connected", "peer_rst"]);
 }
@@ -98,7 +103,13 @@ fn simultaneous_fin_exchange_closes_cleanly() {
         fin_on_connect: true,
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 2), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 2),
+        TcpTuning::default(),
+    );
     sim.run();
     assert_eq!(sim.live_connections(), 0);
 }
@@ -127,9 +138,7 @@ fn data_after_peer_fin_is_ignored_gracefully() {
     }
     let (mut sim, server, client) = world();
     let conn_slot = Rc::new(RefCell::new(None));
-    let sapp = sim.add_app(Box::new(LateWriter {
-        conn: conn_slot,
-    }));
+    let sapp = sim.add_app(Box::new(LateWriter { conn: conn_slot }));
     sim.listen((server, 3), sapp);
     let capp = sim.add_app(Box::new(Script {
         log: Rc::new(RefCell::new(vec![])),
@@ -137,7 +146,13 @@ fn data_after_peer_fin_is_ignored_gracefully() {
         fin_on_connect: true,
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 3), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 3),
+        TcpTuning::default(),
+    );
     sim.run(); // must terminate without panic
 }
 
@@ -152,7 +167,13 @@ fn sequence_numbers_advance_with_payload() {
         send_on_connect: Some(vec![7; 3000]), // spans 3 MSS segments
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 4), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 4),
+        TcpTuning::default(),
+    );
     sim.run();
     let data: Vec<_> = sim
         .capture(cap)
@@ -160,8 +181,14 @@ fn sequence_numbers_advance_with_payload() {
         .filter(|p| p.src.0 == client)
         .collect();
     assert_eq!(data.len(), 3);
-    assert_eq!(data[1].seq, data[0].seq.wrapping_add(data[0].payload.len() as u32));
-    assert_eq!(data[2].seq, data[1].seq.wrapping_add(data[1].payload.len() as u32));
+    assert_eq!(
+        data[1].seq,
+        data[0].seq.wrapping_add(data[0].payload.len() as u32)
+    );
+    assert_eq!(
+        data[2].seq,
+        data[1].seq.wrapping_add(data[1].payload.len() as u32)
+    );
 }
 
 #[test]
@@ -194,7 +221,13 @@ fn window_shaping_relaxes_after_threshold() {
         }
     }
     let capp = sim.add_app(Box::new(TwoWrites));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 5), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 5),
+        TcpTuning::default(),
+    );
     sim.run();
     let sizes: Vec<usize> = sim
         .capture(cap)
@@ -202,7 +235,11 @@ fn window_shaping_relaxes_after_threshold() {
         .filter(|p| p.src.0 == client)
         .map(|p| p.payload.len())
         .collect();
-    assert_eq!(sizes, vec![40, 40, 20, 500], "shaping must relax: {sizes:?}");
+    assert_eq!(
+        sizes,
+        vec![40, 40, 20, 500],
+        "shaping must relax: {sizes:?}"
+    );
 }
 
 #[test]
@@ -216,7 +253,13 @@ fn listener_can_be_removed() {
         log: clog.clone(),
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 6), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 6),
+        TcpTuning::default(),
+    );
     sim.run();
     assert_eq!(clog.borrow().clone(), vec!["failed:true"]);
 }
@@ -232,16 +275,32 @@ fn capture_clear_keeps_filter() {
         send_on_connect: Some(vec![1]),
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 7), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 7),
+        TcpTuning::default(),
+    );
     sim.run();
     assert!(!sim.capture(cap).is_empty());
     sim.capture_mut(cap).clear();
     assert!(sim.capture(cap).is_empty());
     // Still filtered to the server after clear.
     let t = sim.now();
-    sim.connect_at(t + Duration::from_secs(1), capp, client, (server, 7), TcpTuning::default());
+    sim.connect_at(
+        t + Duration::from_secs(1),
+        capp,
+        client,
+        (server, 7),
+        TcpTuning::default(),
+    );
     sim.run();
-    assert!(sim.capture(cap).packets().iter().all(|p| p.src.0 == server || p.dst.0 == server));
+    assert!(sim
+        .capture(cap)
+        .packets()
+        .iter()
+        .all(|p| p.src.0 == server || p.dst.0 == server));
 }
 
 #[test]
@@ -255,7 +314,13 @@ fn syn_packets_have_no_payload_and_correct_flags() {
         send_on_connect: Some(vec![1; 10]),
         ..Default::default()
     }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 8), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 8),
+        TcpTuning::default(),
+    );
     sim.run();
     for p in sim.capture(cap).packets() {
         if p.flags.syn {

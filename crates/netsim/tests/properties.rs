@@ -22,7 +22,11 @@ struct Collector {
 impl App for Collector {
     fn on_event(&mut self, ev: AppEvent, _ctx: &mut Ctx) {
         if let AppEvent::Data { conn, data } = ev {
-            self.received.borrow_mut().entry(conn).or_default().extend(data);
+            self.received
+                .borrow_mut()
+                .entry(conn)
+                .or_default()
+                .extend(data);
         }
     }
 }

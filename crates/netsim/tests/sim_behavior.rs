@@ -72,7 +72,13 @@ fn full_connection_packet_sequence() {
         payload: vec![7u8; 100],
         log: log.clone(),
     }));
-    s.connect_at(SimTime::ZERO, app, client, (server, 8388), TcpTuning::default());
+    s.connect_at(
+        SimTime::ZERO,
+        app,
+        client,
+        (server, 8388),
+        TcpTuning::default(),
+    );
     s.run();
 
     let events = log.borrow().clone();
@@ -84,12 +90,7 @@ fn full_connection_packet_sequence() {
 
     // On the wire: SYN, SYN-ACK, ACK, PSH-ACK (client), PSH-ACK (server),
     // FIN-ACK (server), FIN-ACK (client).
-    let flags: Vec<TcpFlags> = s
-        .capture(cap)
-        .packets()
-        .iter()
-        .map(|p| p.flags)
-        .collect();
+    let flags: Vec<TcpFlags> = s.capture(cap).packets().iter().map(|p| p.flags).collect();
     assert_eq!(
         flags,
         vec![
@@ -122,7 +123,13 @@ fn connect_to_closed_port_is_refused() {
         payload: vec![],
         log: log.clone(),
     }));
-    s.connect_at(SimTime::ZERO, app, client, (server, 9999), TcpTuning::default());
+    s.connect_at(
+        SimTime::ZERO,
+        app,
+        client,
+        (server, 9999),
+        TcpTuning::default(),
+    );
     s.run();
     assert_eq!(log.borrow().clone(), vec!["connect_failed refused=true"]);
 }
@@ -169,7 +176,13 @@ fn window_shaping_splits_first_flight() {
         payload: vec![1u8; 200],
         log,
     }));
-    s.connect_at(SimTime::ZERO, app, client, (server, 8388), TcpTuning::default());
+    s.connect_at(
+        SimTime::ZERO,
+        app,
+        client,
+        (server, 8388),
+        TcpTuning::default(),
+    );
     s.run();
 
     // The client's 200-byte write must arrive as ceil(200/32) = 7
@@ -199,7 +212,13 @@ fn unshaped_first_flight_is_one_segment() {
         payload: vec![1u8; 600],
         log,
     }));
-    s.connect_at(SimTime::ZERO, app, client, (server, 8388), TcpTuning::default());
+    s.connect_at(
+        SimTime::ZERO,
+        app,
+        client,
+        (server, 8388),
+        TcpTuning::default(),
+    );
     s.run();
     let client_data: Vec<usize> = s
         .capture(cap)
@@ -239,7 +258,13 @@ fn unidirectional_drop_blocks_handshake() {
         payload: vec![1],
         log: log.clone(),
     }));
-    s.connect_at(SimTime::ZERO, app, client, (server, 8388), TcpTuning::default());
+    s.connect_at(
+        SimTime::ZERO,
+        app,
+        client,
+        (server, 8388),
+        TcpTuning::default(),
+    );
     s.run();
     // SYN-ACK dropped at the border → client times out.
     assert_eq!(log.borrow().clone(), vec!["connect_failed refused=false"]);
@@ -259,7 +284,13 @@ fn taps_do_not_see_intra_region_traffic() {
         payload: vec![1],
         log,
     }));
-    s.connect_at(SimTime::ZERO, app, client, (server, 80), TcpTuning::default());
+    s.connect_at(
+        SimTime::ZERO,
+        app,
+        client,
+        (server, 80),
+        TcpTuning::default(),
+    );
     s.run();
     assert_eq!(counter.borrow().seen, 0, "outside↔outside avoids the GFW");
 }
@@ -279,7 +310,10 @@ fn tuning_overrides_stamp_client_packets() {
     }));
     let tuning = TcpTuning {
         src_port: Some(33333),
-        ts_clock: Some(TsClock { offset: 1000, rate_hz: 250 }),
+        ts_clock: Some(TsClock {
+            offset: 1000,
+            rate_hz: 250,
+        }),
         ttl: Some(47),
         random_ip_id: true,
     };
@@ -289,7 +323,7 @@ fn tuning_overrides_stamp_client_packets() {
     assert_eq!(syn.src.1, 33333);
     assert_eq!(syn.ttl, 47);
     assert_eq!(syn.tsval, Some(1000)); // 250 Hz clock at t=0
-    // RSTs carry no TSval; data packets do.
+                                       // RSTs carry no TSval; data packets do.
     for p in s.capture(cap).packets() {
         if p.flags.rst {
             assert!(p.tsval.is_none());
@@ -373,7 +407,9 @@ fn timers_fire_in_order() {
     }
     let mut s = sim();
     let fired = Rc::new(RefCell::new(Vec::new()));
-    let app = s.add_app(Box::new(TimerApp { fired: fired.clone() }));
+    let app = s.add_app(Box::new(TimerApp {
+        fired: fired.clone(),
+    }));
     s.set_timer_at(SimTime::ZERO + Duration::from_secs(3), app, 3);
     s.set_timer_at(SimTime::ZERO + Duration::from_secs(1), app, 1);
     s.set_timer_at(SimTime::ZERO + Duration::from_secs(2), app, 2);

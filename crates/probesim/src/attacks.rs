@@ -92,7 +92,9 @@ pub fn breakwa11(config: &ServerConfig, recorded: &[u8], iv_len: usize) -> AddrT
         probe[iv_len] ^= delta as u8;
         let mut server = ServerConn::new(config.clone(), 1000 + delta as u64);
         let conn = server.open_conn();
-        *behaviours.entry(immediate(&mut server, conn, &probe)).or_insert(0) += 1;
+        *behaviours
+            .entry(immediate(&mut server, conn, &probe))
+            .or_insert(0) += 1;
     }
     AddrTypeOracle { behaviours }
 }
@@ -259,7 +261,9 @@ mod tests {
         let c1 = server.open_conn();
         let actions = server.on_data(c1, &tampered);
         assert!(
-            actions.iter().all(|a| !matches!(a, ServerAction::ConnectTarget(_))),
+            actions
+                .iter()
+                .all(|a| !matches!(a, ServerAction::ConnectTarget(_))),
             "replay filter must block the redirect: {actions:?}"
         );
     }

@@ -124,6 +124,25 @@ pub fn infer(oracle: &mut EngineOracle, samples: usize) -> Inference {
         out.construction = Some(Kind::Stream);
         out.nonce_len = Some(iv);
         out.cipher_hint = stream_cipher_hint(iv);
+        // Every post-IV length exercises the same address-type check,
+        // so the RST-rate statistic can pool the whole sweep instead of
+        // relying on the single 221-byte row. Pooling multiplies the
+        // observation count by ~50 and makes the 13/16-vs-253/256
+        // discrimination below robust at small per-length batteries.
+        let (rst_pooled, total_pooled) =
+            rows.iter()
+                .filter(|r| r.len > l0)
+                .fold((0usize, 0usize), |(rst, total), r| {
+                    (
+                        rst + r.counts.get(&Reaction::Rst).copied().unwrap_or(0),
+                        total + r.total(),
+                    )
+                });
+        let long_rst = if total_pooled == 0 {
+            long_rst
+        } else {
+            rst_pooled as f64 / total_pooled as f64
+        };
         if long_rst > 0.97 {
             out.shadowsocks_like = true;
             out.masks_addr_type = Some(false);

@@ -32,17 +32,13 @@ impl MatrixRow {
 
     /// The dominant reaction, if any probes were sent.
     pub fn dominant(&self) -> Option<Reaction> {
-        self.counts
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .map(|(&r, _)| r)
+        self.counts.iter().max_by_key(|(_, &c)| c).map(|(&r, _)| r)
     }
 
     /// Render like a Fig 10 cell: the dominant reaction, annotated with
     /// minority reactions when present.
     pub fn cell(&self) -> String {
-        let mut parts: Vec<(Reaction, usize)> =
-            self.counts.iter().map(|(&r, &c)| (r, c)).collect();
+        let mut parts: Vec<(Reaction, usize)> = self.counts.iter().map(|(&r, &c)| (r, c)).collect();
         parts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         let name = |r: Reaction| match r {
             Reaction::Timeout => "TIMEOUT",
@@ -157,8 +153,7 @@ mod tests {
 
     #[test]
     fn table5_outline_107() {
-        let config =
-            ServerConfig::new(Method::ChaCha20IetfPoly1305, "pw", Profile::OUTLINE_1_0_7);
+        let config = ServerConfig::new(Method::ChaCha20IetfPoly1305, "pw", Profile::OUTLINE_1_0_7);
         let (identical, changed) = replay_table(&config, 4);
         assert_eq!(identical, Reaction::Data, "no replay filter → proxied");
         assert!(

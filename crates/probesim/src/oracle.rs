@@ -69,7 +69,9 @@ impl EngineOracle {
     }
 
     fn classify(&mut self, server: &mut ServerConn, conn: u64, payload: &[u8]) -> Reaction {
-        for action in server.on_data(conn, payload) {
+        // The first action decides the prober-visible fate; anything the
+        // engine queues after it happens on an already-closed socket.
+        if let Some(action) = server.on_data(conn, payload).into_iter().next() {
             match action {
                 ServerAction::CloseRst => return Reaction::Rst,
                 ServerAction::CloseFin => return Reaction::FinAck,
@@ -116,10 +118,8 @@ impl EngineOracle {
     /// (§5.3).
     pub fn probe_shared(&mut self, payload: &[u8]) -> Reaction {
         let conn = self.shared.open_conn();
-        let mut shared = std::mem::replace(
-            &mut self.shared,
-            ServerConn::new(self.config.clone(), 0),
-        );
+        let mut shared =
+            std::mem::replace(&mut self.shared, ServerConn::new(self.config.clone(), 0));
         let r = self.classify(&mut shared, conn, payload);
         shared.close_conn(conn);
         self.shared = shared;
@@ -131,10 +131,8 @@ impl EngineOracle {
     /// back (Table 5's "D").
     pub fn probe_shared_replay(&mut self, payload: &[u8]) -> Reaction {
         let conn = self.shared.open_conn();
-        let mut shared = std::mem::replace(
-            &mut self.shared,
-            ServerConn::new(self.config.clone(), 0),
-        );
+        let mut shared =
+            std::mem::replace(&mut self.shared, ServerConn::new(self.config.clone(), 0));
         let mut reaction = None;
         for action in shared.on_data(conn, payload) {
             match action {
@@ -205,11 +203,8 @@ mod tests {
         // FIRST presentation of a genuine payload to the shared server
         // inserts its salt; a second presentation trips the filter.
         let mut rng = StdRng::seed_from_u64(9);
-        let mut client = shadowsocks::ClientSession::new(
-            &config,
-            TargetAddr::Ipv4([10, 0, 0, 1], 80),
-            &mut rng,
-        );
+        let mut client =
+            shadowsocks::ClientSession::new(&config, TargetAddr::Ipv4([10, 0, 0, 1], 80), &mut rng);
         let wire = client.send(b"hello");
         assert_eq!(oracle.probe_shared_replay(&wire), Reaction::Data);
         assert_eq!(oracle.probe_shared_replay(&wire), Reaction::Rst);

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn invalid_type_detected() {
-        assert_eq!(parse_spec(&[0x05, 0, 0], false), ParseOutcome::InvalidType(5));
+        assert_eq!(
+            parse_spec(&[0x05, 0, 0], false),
+            ParseOutcome::InvalidType(5)
+        );
         assert_eq!(parse_spec(&[0x00], false), ParseOutcome::InvalidType(0));
     }
 

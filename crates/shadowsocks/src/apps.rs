@@ -71,11 +71,7 @@ impl SsServerApp {
             match action {
                 ServerAction::ConnectTarget(target) => match target {
                     TargetAddr::Ipv4(ip, port) => {
-                        let out = ctx.connect(
-                            self.host,
-                            (Ipv4(ip), port),
-                            TcpTuning::default(),
-                        );
+                        let out = ctx.connect(self.host, (Ipv4(ip), port), TcpTuning::default());
                         self.inbound_of_outbound.insert(out, inbound);
                         self.outbound_of_inbound.insert(inbound, out);
                     }

@@ -59,7 +59,8 @@ impl Bloom {
 
     /// Probabilistic membership test (no false negatives).
     pub fn contains(&self, item: &[u8]) -> bool {
-        self.indexes(item).all(|i| self.bits[i / 64] & (1 << (i % 64)) != 0)
+        self.indexes(item)
+            .all(|i| self.bits[i / 64] & (1 << (i % 64)) != 0)
     }
 
     /// Number of inserts since creation/clear.

@@ -135,7 +135,9 @@ mod tests {
         let actions = server.on_target_connected(conn);
         assert_eq!(
             actions,
-            vec![ServerAction::RelayToTarget(b"GET / HTTP/1.1\r\n\r\n".to_vec())]
+            vec![ServerAction::RelayToTarget(
+                b"GET / HTTP/1.1\r\n\r\n".to_vec()
+            )]
         );
         // Target responds; server encrypts; client decrypts.
         let actions = server.on_target_data(conn, b"HTTP/1.1 200 OK\r\n\r\nhello");
@@ -146,7 +148,10 @@ mod tests {
         // Second client write relays directly.
         let wire2 = client.send(b"more data");
         let actions = server.on_data(conn, &wire2);
-        assert_eq!(actions, vec![ServerAction::RelayToTarget(b"more data".to_vec())]);
+        assert_eq!(
+            actions,
+            vec![ServerAction::RelayToTarget(b"more data".to_vec())]
+        );
     }
 
     #[test]

@@ -232,7 +232,10 @@ mod tests {
             Profile::LIBEV_OLD.error_reaction,
             ErrorReaction::CloseImmediately
         );
-        assert_eq!(Profile::LIBEV_NEW.error_reaction, ErrorReaction::KeepReading);
+        assert_eq!(
+            Profile::LIBEV_NEW.error_reaction,
+            ErrorReaction::KeepReading
+        );
         assert!(!Profile::OUTLINE_1_0_7.replay_filter);
         assert!(Profile::OUTLINE_1_1_0.replay_filter);
         // §11: ss-rust gained its replay defense in v1.8.5.

@@ -258,8 +258,7 @@ impl ServerConn {
                 } else {
                     staged.extend_from_slice(data);
                 }
-                if !auth_failed && dec.salt_complete() && got >= threshold && !staged.is_empty()
-                {
+                if !auth_failed && dec.salt_complete() && got >= threshold && !staged.is_empty() {
                     let to_feed = std::mem::take(&mut staged);
                     match dec.decrypt(&to_feed) {
                         Ok(mut cs) => chunks.append(&mut cs),

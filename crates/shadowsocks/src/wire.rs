@@ -358,7 +358,10 @@ mod tests {
             let ct = enc.seal(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n");
             let chunks = dec.decrypt(&ct).unwrap();
             let plain: Vec<u8> = chunks.concat();
-            assert_eq!(plain, b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n".to_vec());
+            assert_eq!(
+                plain,
+                b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n".to_vec()
+            );
         }
     }
 

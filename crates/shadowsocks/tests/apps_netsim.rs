@@ -140,8 +140,7 @@ fn proxies_by_hostname_with_resolver() {
         // Re-add the server app with a resolver entry (apps are boxed
         // into the sim; configure before traffic instead).
         let mut app = SsServerApp::new(config.clone(), world.server_ip, 8);
-        app.resolver
-            .insert(b"intra.example".to_vec(), world.web_ip);
+        app.resolver.insert(b"intra.example".to_vec(), world.web_ip);
         let id = world.sim.add_app(Box::new(app));
         world.sim.listen((world.server_ip, 8389), id);
     }
@@ -196,10 +195,9 @@ fn idle_connection_closed_by_server_timeout() {
                     ctx.send(conn, vec![0x42]);
                 }
                 AppEvent::PeerFin { conn } => {
-                    self.events.borrow_mut().push(format!(
-                        "fin@{}",
-                        ctx.now.as_secs_f64().round()
-                    ));
+                    self.events
+                        .borrow_mut()
+                        .push(format!("fin@{}", ctx.now.as_secs_f64().round()));
                     ctx.fin(conn);
                 }
                 _ => {}
@@ -244,7 +242,13 @@ fn sink_server_closes_after_hold() {
         }
     }
     let capp = sim.add_app(Box::new(Push));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 1), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 1),
+        TcpTuning::default(),
+    );
     sim.run();
     // Sink never sends data; it FINs at ~30 s.
     let server_data = sim
@@ -286,7 +290,13 @@ fn responding_server_answers_everything() {
         }
     }
     let capp = sim.add_app(Box::new(Probe { got: got.clone() }));
-    sim.connect_at(SimTime::ZERO, capp, client, (server, 1), TcpTuning::default());
+    sim.connect_at(
+        SimTime::ZERO,
+        capp,
+        client,
+        (server, 1),
+        TcpTuning::default(),
+    );
     sim.run();
     let n = *got.borrow();
     assert!((1..=1000).contains(&n), "responder sent {n} bytes");

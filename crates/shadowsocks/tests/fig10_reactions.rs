@@ -73,7 +73,10 @@ fn sample(config: &ServerConfig, len: usize, n: usize, seed: u64) -> Vec<(Immedi
 }
 
 fn frac(dist: &[(Immediate, f64)], r: Immediate) -> f64 {
-    dist.iter().find(|(k, _)| *k == r).map(|(_, v)| *v).unwrap_or(0.0)
+    dist.iter()
+        .find(|(k, _)| *k == r)
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0)
 }
 
 // ---------------------------------------------------------------------
@@ -114,7 +117,11 @@ fn fig10a_libev_old_mid_probes_mostly_rst() {
             (rst - 13.0 / 16.0).abs() < 0.06,
             "len {len}: rst fraction {rst}"
         );
-        assert_eq!(frac(&dist, Immediate::Fin), 0.0, "no FIN before a full spec");
+        assert_eq!(
+            frac(&dist, Immediate::Fin),
+            0.0,
+            "no FIN before a full spec"
+        );
     }
 }
 
@@ -126,7 +133,10 @@ fn fig10a_libev_old_long_probes_mixed() {
     let dist = sample(&config, 16 + 30, 800, 21);
     let rst = frac(&dist, Immediate::Rst);
     assert!((rst - 13.0 / 16.0).abs() < 0.05, "rst fraction {rst}");
-    assert!(frac(&dist, Immediate::Connect) > 0.02, "some probes connect");
+    assert!(
+        frac(&dist, Immediate::Connect) > 0.02,
+        "some probes connect"
+    );
     assert!(frac(&dist, Immediate::Wait) > 0.01, "some probes wait");
 }
 
@@ -262,9 +272,17 @@ fn table5_identical_replay_reactions() {
         (Profile::LIBEV_NEW, Method::Aes256Cfb, Immediate::Wait),
         (Profile::LIBEV_NEW, Method::Aes256Gcm, Immediate::Wait),
         // Outline (no replay filter): replay is accepted and proxied.
-        (Profile::OUTLINE_1_0_7, Method::ChaCha20IetfPoly1305, Immediate::Connect),
+        (
+            Profile::OUTLINE_1_0_7,
+            Method::ChaCha20IetfPoly1305,
+            Immediate::Connect,
+        ),
         // Outline v1.1.0 added the replay defense.
-        (Profile::OUTLINE_1_1_0, Method::ChaCha20IetfPoly1305, Immediate::Wait),
+        (
+            Profile::OUTLINE_1_1_0,
+            Method::ChaCha20IetfPoly1305,
+            Immediate::Wait,
+        ),
     ];
     for (profile, method, want) in cases {
         let config = ServerConfig::new(method, "pw", profile);
@@ -284,7 +302,8 @@ fn table5_identical_replay_reactions() {
         let c2 = server.open_conn();
         let replayed = classify(&server.on_data(c2, &payload));
         assert_eq!(
-            replayed, want,
+            replayed,
+            want,
             "{} {}: identical replay",
             profile.name,
             method.name()

@@ -46,7 +46,11 @@ impl Aead for AesGcm {
     }
 
     fn seal(&self, nonce: &[u8], aad: &[u8], data: &mut [u8]) -> [u8; TAG_LEN] {
-        self.seal_in_place(nonce.try_into().expect("GCM nonce must be 12 bytes"), aad, data)
+        self.seal_in_place(
+            nonce.try_into().expect("GCM nonce must be 12 bytes"),
+            aad,
+            data,
+        )
     }
 
     fn open(
@@ -56,7 +60,12 @@ impl Aead for AesGcm {
         data: &mut [u8],
         tag: &[u8; TAG_LEN],
     ) -> Result<(), AuthError> {
-        self.open_in_place(nonce.try_into().expect("GCM nonce must be 12 bytes"), aad, data, tag)
+        self.open_in_place(
+            nonce.try_into().expect("GCM nonce must be 12 bytes"),
+            aad,
+            data,
+            tag,
+        )
     }
 }
 
@@ -75,7 +84,8 @@ impl ChaCha20Poly1305 {
     fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
         // Poly1305 key is the first 32 bytes of ChaCha20 block 0.
         let block0 = ChaCha20::block_at(&self.key, nonce, 0);
-        let poly_key: [u8; 32] = block0[..32].try_into().unwrap();
+        let mut poly_key = [0u8; 32];
+        poly_key.copy_from_slice(&block0[..32]);
         let mut mac = Poly1305::new(&poly_key);
         mac.update(aad);
         mac.update(&pad16(aad.len()));
@@ -138,7 +148,9 @@ impl XChaCha20Poly1305 {
 
     fn inner(&self, nonce: &[u8]) -> (ChaCha20Poly1305, [u8; NONCE_LEN]) {
         let xn: &[u8; XNONCE_LEN] = nonce.try_into().expect("nonce must be 24 bytes");
-        let subkey = hchacha20(&self.key, xn[..16].try_into().unwrap());
+        let mut head = [0u8; 16];
+        head.copy_from_slice(&xn[..16]);
+        let subkey = hchacha20(&self.key, &head);
         let mut n12 = [0u8; NONCE_LEN];
         n12[4..].copy_from_slice(&xn[16..]);
         (ChaCha20Poly1305::new(&subkey), n12)
@@ -197,10 +209,7 @@ mod tests {
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
         let aead = ChaCha20Poly1305::new(&key);
         let tag = aead.seal(&nonce, &aad, &mut data);
-        assert_eq!(
-            hex(&data[..16]),
-            "d31a8d34648e60db7b86afbc53ef7ec2"
-        );
+        assert_eq!(hex(&data[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
         assert_eq!(hex(&tag), "1ae10b594f09e26a7e902ecbd0600691");
         // And back.
         aead.open(&nonce, &aad, &mut data, &tag).unwrap();
@@ -287,9 +296,6 @@ mod tests {
         let nonce = [2u8; 12];
         let mut data = b"body".to_vec();
         let tag = aead.seal(&nonce, b"aad-1", &mut data);
-        assert_eq!(
-            aead.open(&nonce, b"aad-2", &mut data, &tag),
-            Err(AuthError)
-        );
+        assert_eq!(aead.open(&nonce, b"aad-2", &mut data, &tag), Err(AuthError));
     }
 }

@@ -73,7 +73,9 @@ mod tests {
     #[test]
     fn sp800_38a_cfb128_aes128() {
         let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
-        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
         let mut data = unhex(
             "6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51",
@@ -91,7 +93,9 @@ mod tests {
     #[test]
     fn sp800_38a_cfb128_aes256() {
         let key = unhex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
-        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
         let mut data = unhex("6bc1bee22e409f96e93d7e117393172a");
         let want = unhex("dc7e84bfda79164b7ecd8486985d3860");
         let mut c = AesCfb::new(&key, &iv, Direction::Encrypt);

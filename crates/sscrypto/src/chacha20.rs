@@ -5,6 +5,8 @@
 //! an attacker infer the cipher from the IV length, §5.2.2) and the
 //! keystream half of `chacha20-ietf-poly1305`.
 
+use crate::le32;
+
 /// ChaCha20 keystream generator with the IETF 96-bit nonce / 32-bit
 /// counter layout.
 #[derive(Clone)]
@@ -25,11 +27,11 @@ impl ChaCha20 {
         state[2] = 0x79622d32;
         state[3] = 0x6b206574;
         for i in 0..8 {
-            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+            state[4 + i] = le32(key, i * 4);
         }
         state[12] = counter;
         for i in 0..3 {
-            state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+            state[13 + i] = le32(nonce, i * 4);
         }
         ChaCha20 {
             state,
@@ -101,11 +103,11 @@ impl ChaCha20Legacy {
         state[2] = 0x79622d32;
         state[3] = 0x6b206574;
         for i in 0..8 {
-            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+            state[4 + i] = le32(key, i * 4);
         }
         // state[12..14] is the 64-bit little-endian counter, starting at 0.
-        state[14] = u32::from_le_bytes(nonce[0..4].try_into().unwrap());
-        state[15] = u32::from_le_bytes(nonce[4..8].try_into().unwrap());
+        state[14] = le32(nonce, 0);
+        state[15] = le32(nonce, 4);
         ChaCha20Legacy {
             state,
             keystream: [0; 64],
@@ -160,10 +162,10 @@ pub fn hchacha20(key: &[u8; 32], nonce: &[u8; 16]) -> [u8; 32] {
     state[2] = 0x79622d32;
     state[3] = 0x6b206574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        state[4 + i] = le32(key, i * 4);
     }
     for i in 0..4 {
-        state[12 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        state[12 + i] = le32(nonce, i * 4);
     }
     for _ in 0..10 {
         quarter(&mut state, 0, 4, 8, 12);
@@ -211,14 +213,8 @@ mod tests {
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
         let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
         let block = ChaCha20::block_at(&key, &nonce, 1);
-        assert_eq!(
-            block[..16],
-            unhex("10f1e7e4d13b5915500fdd1fa32071c4")[..]
-        );
-        assert_eq!(
-            block[48..64],
-            unhex("b5129cd1de164eb9cbd083e8a2503c4e")[..]
-        );
+        assert_eq!(block[..16], unhex("10f1e7e4d13b5915500fdd1fa32071c4")[..]);
+        assert_eq!(block[48..64], unhex("b5129cd1de164eb9cbd083e8a2503c4e")[..]);
     }
 
     // RFC 8439 §2.4.2 encryption test vector.
@@ -246,7 +242,9 @@ mod tests {
     #[test]
     fn hchacha20_draft_vector() {
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 16] = unhex("000000090000004a0000000031415927").try_into().unwrap();
+        let nonce: [u8; 16] = unhex("000000090000004a0000000031415927")
+            .try_into()
+            .unwrap();
         assert_eq!(
             hchacha20(&key, &nonce).to_vec(),
             unhex("82413b4227b27bfed30e42508a877d73a0f9e4d58a74a853c12ec41326d3ecdc")

@@ -58,6 +58,16 @@ impl std::fmt::Display for AuthError {
 
 impl std::error::Error for AuthError {}
 
+/// Read a little-endian `u32` at byte offset `off`.
+///
+/// Every call site passes an offset that is in bounds by construction
+/// (fixed-size key/nonce/block arrays), so this is the panic-free
+/// replacement for the `try_into().unwrap()` idiom in the cipher hot
+/// paths.
+pub(crate) fn le32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+}
+
 /// Compare two byte slices for equality.
 ///
 /// Not constant-time (see crate-level non-goals); named to mark the places

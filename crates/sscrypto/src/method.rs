@@ -147,9 +147,7 @@ impl Method {
             // AEAD salts equal the key length.
             Method::Aes128Gcm => 16,
             Method::Aes192Gcm => 24,
-            Method::Aes256Gcm
-            | Method::ChaCha20IetfPoly1305
-            | Method::XChaCha20IetfPoly1305 => 32,
+            Method::Aes256Gcm | Method::ChaCha20IetfPoly1305 | Method::XChaCha20IetfPoly1305 => 32,
         }
     }
 
@@ -160,8 +158,18 @@ impl Method {
     /// Panics if called on an AEAD method, on a key of the wrong length,
     /// or an IV of the wrong length.
     pub fn new_stream(&self, key: &[u8], iv: &[u8], dir: Direction) -> Box<dyn StreamCipher> {
-        assert_eq!(self.kind(), Kind::Stream, "{} is not a stream method", self.name());
-        assert_eq!(key.len(), self.key_len(), "bad key length for {}", self.name());
+        assert_eq!(
+            self.kind(),
+            Kind::Stream,
+            "{} is not a stream method",
+            self.name()
+        );
+        assert_eq!(
+            key.len(),
+            self.key_len(),
+            "bad key length for {}",
+            self.name()
+        );
         assert_eq!(iv.len(), self.iv_len(), "bad IV length for {}", self.name());
         match self {
             Method::Aes128Ctr | Method::Aes192Ctr | Method::Aes256Ctr => {
@@ -191,8 +199,18 @@ impl Method {
     ///
     /// Panics if called on a stream method or with a wrong-length subkey.
     pub fn new_aead(&self, subkey: &[u8]) -> Box<dyn Aead> {
-        assert_eq!(self.kind(), Kind::Aead, "{} is not an AEAD method", self.name());
-        assert_eq!(subkey.len(), self.key_len(), "bad subkey length for {}", self.name());
+        assert_eq!(
+            self.kind(),
+            Kind::Aead,
+            "{} is not an AEAD method",
+            self.name()
+        );
+        assert_eq!(
+            subkey.len(),
+            self.key_len(),
+            "bad subkey length for {}",
+            self.name()
+        );
         match self {
             Method::Aes128Gcm | Method::Aes192Gcm | Method::Aes256Gcm => {
                 Box::new(AesGcm::new(subkey))

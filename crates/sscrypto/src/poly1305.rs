@@ -5,6 +5,8 @@
 //! verify against the RFC test vectors and needs no 128-bit arithmetic
 //! tricks beyond `u64` multiplies.
 
+use crate::le32;
+
 /// Tag size in bytes.
 pub const TAG_LEN: usize = 16;
 
@@ -22,10 +24,10 @@ impl Poly1305 {
     /// Create a MAC from a 32-byte one-time key (`r || s`).
     pub fn new(key: &[u8; 32]) -> Self {
         // Clamp r per RFC 8439.
-        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
-        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
-        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
-        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+        let t0 = le32(key, 0);
+        let t1 = le32(key, 4);
+        let t2 = le32(key, 8);
+        let t3 = le32(key, 12);
         let r = [
             t0 & 0x3ffffff,
             ((t0 >> 26) | (t1 << 6)) & 0x3ffff03,
@@ -33,12 +35,7 @@ impl Poly1305 {
             ((t2 >> 14) | (t3 << 18)) & 0x3f03fff,
             (t3 >> 8) & 0x00fffff,
         ];
-        let pad = [
-            u32::from_le_bytes(key[16..20].try_into().unwrap()),
-            u32::from_le_bytes(key[20..24].try_into().unwrap()),
-            u32::from_le_bytes(key[24..28].try_into().unwrap()),
-            u32::from_le_bytes(key[28..32].try_into().unwrap()),
-        ];
+        let pad = [le32(key, 16), le32(key, 20), le32(key, 24), le32(key, 28)];
         Poly1305 {
             r,
             h: [0; 5],
@@ -50,10 +47,10 @@ impl Poly1305 {
 
     fn block(&mut self, block: &[u8; 16], partial: bool) {
         let hibit: u32 = if partial { 0 } else { 1 << 24 };
-        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap());
-        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap());
-        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap());
-        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap());
+        let t0 = le32(block, 0);
+        let t1 = le32(block, 4);
+        let t2 = le32(block, 8);
+        let t3 = le32(block, 12);
 
         let mut h = self.h;
         h[0] += t0 & 0x3ffffff;
@@ -68,15 +65,32 @@ impl Poly1305 {
         let s3 = r[3] * 5;
         let s4 = r[4] * 5;
 
-        let h64: [u64; 5] = [h[0] as u64, h[1] as u64, h[2] as u64, h[3] as u64, h[4] as u64];
-        let r64: [u64; 5] = [r[0] as u64, r[1] as u64, r[2] as u64, r[3] as u64, r[4] as u64];
+        let h64: [u64; 5] = [
+            h[0] as u64,
+            h[1] as u64,
+            h[2] as u64,
+            h[3] as u64,
+            h[4] as u64,
+        ];
+        let r64: [u64; 5] = [
+            r[0] as u64,
+            r[1] as u64,
+            r[2] as u64,
+            r[3] as u64,
+            r[4] as u64,
+        ];
         let s64: [u64; 4] = [s1 as u64, s2 as u64, s3 as u64, s4 as u64];
 
-        let d0 = h64[0] * r64[0] + h64[1] * s64[3] + h64[2] * s64[2] + h64[3] * s64[1] + h64[4] * s64[0];
-        let d1 = h64[0] * r64[1] + h64[1] * r64[0] + h64[2] * s64[3] + h64[3] * s64[2] + h64[4] * s64[1];
-        let d2 = h64[0] * r64[2] + h64[1] * r64[1] + h64[2] * r64[0] + h64[3] * s64[3] + h64[4] * s64[2];
-        let d3 = h64[0] * r64[3] + h64[1] * r64[2] + h64[2] * r64[1] + h64[3] * r64[0] + h64[4] * s64[3];
-        let d4 = h64[0] * r64[4] + h64[1] * r64[3] + h64[2] * r64[2] + h64[3] * r64[1] + h64[4] * r64[0];
+        let d0 =
+            h64[0] * r64[0] + h64[1] * s64[3] + h64[2] * s64[2] + h64[3] * s64[1] + h64[4] * s64[0];
+        let d1 =
+            h64[0] * r64[1] + h64[1] * r64[0] + h64[2] * s64[3] + h64[3] * s64[2] + h64[4] * s64[1];
+        let d2 =
+            h64[0] * r64[2] + h64[1] * r64[1] + h64[2] * r64[0] + h64[3] * s64[3] + h64[4] * s64[2];
+        let d3 =
+            h64[0] * r64[3] + h64[1] * r64[2] + h64[2] * r64[1] + h64[3] * r64[0] + h64[4] * s64[3];
+        let d4 =
+            h64[0] * r64[4] + h64[1] * r64[3] + h64[2] * r64[2] + h64[3] * r64[1] + h64[4] * r64[0];
 
         // Carry propagation.
         let mut c: u64;
@@ -117,10 +131,9 @@ impl Poly1305 {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 16 {
-            let block: [u8; 16] = data[..16].try_into().unwrap();
-            self.block(&block, false);
-            data = &data[16..];
+        while let Some((block, rest)) = data.split_first_chunk::<16>() {
+            self.block(block, false);
+            data = rest;
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);

@@ -151,11 +151,7 @@ mod tests {
         let app = sim.add_app(Box::new(BrowseDriver::new(client, web)));
         // Three sessions, spaced a minute apart.
         for i in 0..3 {
-            sim.set_timer_at(
-                SimTime::ZERO + Duration::from_secs(60 * i),
-                app,
-                0,
-            );
+            sim.set_timer_at(SimTime::ZERO + Duration::from_secs(60 * i), app, 0);
         }
         sim.run();
 

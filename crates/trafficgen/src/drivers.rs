@@ -100,10 +100,13 @@ impl App for RandomDataClient {
     }
 }
 
+/// A boxed payload factory: draws one payload from the simulation RNG.
+type PayloadFactory = Box<dyn FnMut(&mut rand::rngs::StdRng) -> Vec<u8>>;
+
 /// A generic one-shot client: on connect, sends `factory(rng)` and then
 /// closes after a hold time. Useful for HTTP/TLS control traffic.
 pub struct PayloadOnceClient {
-    factory: Box<dyn FnMut(&mut rand::rngs::StdRng) -> Vec<u8>>,
+    factory: PayloadFactory,
     /// Hold time before FIN.
     pub close_after: Duration,
 }
@@ -209,7 +212,13 @@ mod tests {
         let app = sim.add_app(Box::new(PayloadOnceClient::new(|rng| {
             crate::payload::http_request("example.com", 300, rng)
         })));
-        sim.connect_at(SimTime::ZERO, app, client, (server, 80), TcpTuning::default());
+        sim.connect_at(
+            SimTime::ZERO,
+            app,
+            client,
+            (server, 80),
+            TcpTuning::default(),
+        );
         sim.run();
         let firsts = sim.capture(cap).first_data_per_conn();
         assert_eq!(firsts.len(), 1);

@@ -46,7 +46,7 @@ pub fn http_request(host: &str, len: usize, rng: &mut impl Rng) -> Vec<u8> {
     let pad = len.saturating_sub(req.len() + 2 + 9);
     if pad >= 1 {
         req.extend_from_slice(b"X-Pad: ");
-        req.extend(std::iter::repeat(b'a').take(pad));
+        req.extend(std::iter::repeat_n(b'a', pad));
         req.extend_from_slice(b"\r\n");
     }
     req.extend_from_slice(b"\r\n");
@@ -85,10 +85,7 @@ mod tests {
         for target in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
             let p = entropy_payload(20_000, target, &mut rng);
             let e = shannon_entropy(&p);
-            assert!(
-                (e - target).abs() < 0.25,
-                "target {target}, measured {e}"
-            );
+            assert!((e - target).abs() < 0.25, "target {target}, measured {e}");
         }
     }
 

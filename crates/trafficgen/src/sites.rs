@@ -36,18 +36,90 @@ pub struct Site {
 /// The browse catalogue: the paper's three measurement sites plus an
 /// Alexa-like mix.
 pub const SITES: &[Site] = &[
-    Site { host: "www.wikipedia.org", scheme: Scheme::Https, first_len: 517, response_len: 78_000, censored: true },
-    Site { host: "example.com", scheme: Scheme::Http, first_len: 78, response_len: 1_256, censored: false },
-    Site { host: "gfw.report", scheme: Scheme::Https, first_len: 330, response_len: 12_000, censored: true },
-    Site { host: "www.google.com", scheme: Scheme::Https, first_len: 517, response_len: 48_000, censored: true },
-    Site { host: "www.youtube.com", scheme: Scheme::Https, first_len: 517, response_len: 400_000, censored: true },
-    Site { host: "www.baidu.com", scheme: Scheme::Https, first_len: 260, response_len: 120_000, censored: false },
-    Site { host: "www.qq.com", scheme: Scheme::Http, first_len: 102, response_len: 180_000, censored: false },
-    Site { host: "twitter.com", scheme: Scheme::Https, first_len: 412, response_len: 90_000, censored: true },
-    Site { host: "www.facebook.com", scheme: Scheme::Https, first_len: 517, response_len: 110_000, censored: true },
-    Site { host: "www.nytimes.com", scheme: Scheme::Https, first_len: 478, response_len: 250_000, censored: true },
-    Site { host: "www.bbc.com", scheme: Scheme::Https, first_len: 441, response_len: 160_000, censored: true },
-    Site { host: "www.jd.com", scheme: Scheme::Http, first_len: 95, response_len: 210_000, censored: false },
+    Site {
+        host: "www.wikipedia.org",
+        scheme: Scheme::Https,
+        first_len: 517,
+        response_len: 78_000,
+        censored: true,
+    },
+    Site {
+        host: "example.com",
+        scheme: Scheme::Http,
+        first_len: 78,
+        response_len: 1_256,
+        censored: false,
+    },
+    Site {
+        host: "gfw.report",
+        scheme: Scheme::Https,
+        first_len: 330,
+        response_len: 12_000,
+        censored: true,
+    },
+    Site {
+        host: "www.google.com",
+        scheme: Scheme::Https,
+        first_len: 517,
+        response_len: 48_000,
+        censored: true,
+    },
+    Site {
+        host: "www.youtube.com",
+        scheme: Scheme::Https,
+        first_len: 517,
+        response_len: 400_000,
+        censored: true,
+    },
+    Site {
+        host: "www.baidu.com",
+        scheme: Scheme::Https,
+        first_len: 260,
+        response_len: 120_000,
+        censored: false,
+    },
+    Site {
+        host: "www.qq.com",
+        scheme: Scheme::Http,
+        first_len: 102,
+        response_len: 180_000,
+        censored: false,
+    },
+    Site {
+        host: "twitter.com",
+        scheme: Scheme::Https,
+        first_len: 412,
+        response_len: 90_000,
+        censored: true,
+    },
+    Site {
+        host: "www.facebook.com",
+        scheme: Scheme::Https,
+        first_len: 517,
+        response_len: 110_000,
+        censored: true,
+    },
+    Site {
+        host: "www.nytimes.com",
+        scheme: Scheme::Https,
+        first_len: 478,
+        response_len: 250_000,
+        censored: true,
+    },
+    Site {
+        host: "www.bbc.com",
+        scheme: Scheme::Https,
+        first_len: 441,
+        response_len: 160_000,
+        censored: true,
+    },
+    Site {
+        host: "www.jd.com",
+        scheme: Scheme::Http,
+        first_len: 95,
+        response_len: 210_000,
+        censored: false,
+    },
 ];
 
 /// Pick a random site, optionally excluding censored ones — the §10

@@ -31,7 +31,10 @@ fn main() {
         ..Default::default()
     };
     let mut world = build_ss_world(&cfg);
-    println!("driving {} Shadowsocks connections through the border...", cfg.connections);
+    println!(
+        "driving {} Shadowsocks connections through the border...",
+        cfg.connections
+    );
     for i in 0..cfg.connections {
         world.sim.connect_at(
             SimTime::ZERO + Duration::from_nanos(cfg.conn_interval.as_nanos() * i as u64),
@@ -64,9 +67,10 @@ fn main() {
 
     let server = (world.server_ip, 8388);
     match st.classifier.verdict(server) {
-        Verdict::LikelyShadowsocks { signature, confidence } => println!(
-            "\nverdict: Shadowsocks ({signature:?}, confidence {confidence:.2})"
-        ),
+        Verdict::LikelyShadowsocks {
+            signature,
+            confidence,
+        } => println!("\nverdict: Shadowsocks ({signature:?}, confidence {confidence:.2})"),
         v => println!("\nverdict: {v:?}"),
     }
     for rule in st.blocking.all_rules() {

@@ -46,10 +46,12 @@ fn main() {
             method.name(),
             f.implementation_guess,
             f.nonce_len
-                .map(|n| format!(" (nonce {n} bytes{})", f
-                    .cipher_hint
-                    .map(|h| format!(", cipher: {h}"))
-                    .unwrap_or_default()))
+                .map(|n| format!(
+                    " (nonce {n} bytes{})",
+                    f.cipher_hint
+                        .map(|h| format!(", cipher: {h}"))
+                        .unwrap_or_default()
+                ))
                 .unwrap_or_default()
         );
     }

@@ -27,11 +27,9 @@ impl App for ShapedDriver {
     fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
         match ev {
             AppEvent::Connected { conn } => {
-                let mut s =
-                    ClientSession::new(&self.config, self.target.clone(), &mut self.rng);
-                let body_len = gfwsim::experiments::runs::attractive_payload_len(
-                    self.config.method,
-                );
+                let mut s = ClientSession::new(&self.config, self.target.clone(), &mut self.rng);
+                let body_len =
+                    gfwsim::experiments::runs::attractive_payload_len(self.config.method);
                 let mut body = vec![0u8; body_len];
                 self.rng.fill(&mut body[..]);
                 let wire = s.send(&body);

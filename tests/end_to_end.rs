@@ -112,9 +112,11 @@ fn bidirectional_triggering_server_inside_china() {
         "run-password",
         Profile::LIBEV_OLD,
     );
-    let app = world.sim.add_app(Box::new(
-        gfwsim::shadowsocks::apps::SsServerApp::new(ss_config, cn_server, 99),
-    ));
+    let app = world
+        .sim
+        .add_app(Box::new(gfwsim::shadowsocks::apps::SsServerApp::new(
+            ss_config, cn_server, 99,
+        )));
     world.sim.listen((cn_server, 8388), app);
     for i in 0..cfg.connections {
         world.sim.connect_at(

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides
+//! the subset of the criterion 0.5 API the `bench` crate uses:
+//! [`Criterion`], benchmark groups with `throughput` / `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It runs each closure a small fixed number of iterations and prints
+//! mean wall-clock time — enough to smoke-test the benches and get
+//! rough numbers, with none of criterion's statistics. This is the one
+//! deliberate use of wall-clock time in the workspace; benches are not
+//! simulation code, and `gfw-lint` rule D1 does not cover them.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Throughput annotation (printed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark name, e.g. `encrypt_4k/aes-256-cfb`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Join a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the work done per iteration for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = t.into();
+        self
+    }
+
+    /// Lower/raise the iteration count for slow/fast benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:>10.1} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<40} {:>12.3?}/iter{}", self.name, id, per_iter, rate);
+        self.criterion.ran += 1;
+    }
+
+    /// Run a benchmark closure under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id, f);
+        self
+    }
+
+    /// Run a benchmark closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.full, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream finalises reports here; we do nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 20,
+        };
+        g.run(id.into(), f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,511 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's
+//! property tests use: the [`proptest!`] macro, [`any`], range and
+//! [`Just`] strategies, `collection::vec`, `prop_map` / `prop_filter`,
+//! [`prop_oneof!`], `prop_assert!` / `prop_assert_eq!` /
+//! [`prop_assume!`], and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (FNV of the test name), and failing inputs are **not
+//! shrunk** — the panic message carries the case number and the failed
+//! assertion instead.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+// Re-exported so `proptest!`-generated code can name the RNG through
+// `$crate` without requiring callers to depend on `rand` themselves.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use super::StdRng;
+    use rand::{Rng, SampleUniform};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred` (regenerates up to a
+        /// bounded number of times, then panics with `reason`).
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Box the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.new_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}': predicate rejected 10000 consecutive candidates",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range generation for primitive types.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, bool, f64, f32);
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let mut out = [0u8; N];
+            rng.fill(&mut out[..]);
+            out
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and case-level error plumbing.
+
+    /// Subset of proptest's config: number of cases per property.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+        /// Construct a rejection.
+        pub fn reject(msg: String) -> Self {
+            TestCaseError::Reject(msg)
+        }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test path string.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Skip the current case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal recursive muncher for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => case += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.cases.saturating_mul(64) {
+                            panic!(
+                                "{}: too many prop_assume! rejections ({rejected})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("{} failed at case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Vec sizes respect the requested range.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u8>(), 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+        }
+
+        /// prop_map and prop_filter compose.
+        #[test]
+        fn map_filter(
+            x in (0usize..100).prop_filter("even", |x| x % 2 == 0).prop_map(|x| x + 1),
+        ) {
+            prop_assert!(x % 2 == 1, "x = {}", x);
+        }
+
+        /// prop_oneof draws only listed alternatives.
+        #[test]
+        fn oneof(r in prop_oneof![Just(250u32), Just(1000u32)]) {
+            prop_assert!(r == 250 || r == 1000);
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` as a
+//! forward-looking annotation — nothing serializes through serde at
+//! runtime (JSON export is hand-rolled). This stub provides marker
+//! traits and no-op derive macros so the annotations compile without
+//! network access to crates.io.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker: the type is (nominally) serializable.
+pub trait Serialize {}
+
+/// Marker: the type is (nominally) deserializable.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

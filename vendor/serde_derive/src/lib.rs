@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The derives intentionally expand to nothing: the workspace never
+//! calls serde serialization at runtime, it only annotates types. An
+//! empty expansion keeps every `#[derive(Serialize, Deserialize)]`
+//! compiling with zero external dependencies.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
