@@ -20,4 +20,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> exp-all --jobs 2 smoke (quick scale)"
+./target/release/exp-all --jobs 2 --only fig2,fig10,table4 > /dev/null
+
 echo "ci.sh: all gates passed"

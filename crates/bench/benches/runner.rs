@@ -1,0 +1,34 @@
+//! The run engine's headline claim: more workers, same bytes, less
+//! wall time. Benchmarks the Fig 10 reaction-matrix grid — the widest
+//! internal sweep in the repository — at one worker versus the
+//! machine's available parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::fig10;
+use experiments::runner;
+use experiments::Scale;
+
+fn fig10_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runner");
+    g.sample_size(10);
+    let n = runner::default_parallelism();
+    for jobs in [1, n] {
+        g.bench_with_input(
+            BenchmarkId::new("fig10_grid_jobs", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    runner::set_jobs(jobs);
+                    let f = fig10::run(Scale::Quick, 2020);
+                    assert!(!f.stream.is_empty());
+                    f.aead.len()
+                })
+            },
+        );
+    }
+    runner::set_jobs(0);
+    g.finish();
+}
+
+criterion_group!(benches, fig10_grid);
+criterion_main!(benches);

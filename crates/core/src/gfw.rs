@@ -26,8 +26,20 @@ use netsim::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Per-connection GFW bookkeeping, one map entry per connection the tap
+/// still cares about. Collapsing the former `own_conns` + `seen_data`
+/// `HashSet` pair into a single map halves the hash probes on the
+/// per-packet hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnTrack {
+    /// Created by the GFW itself (probe); never self-triggering.
+    Own,
+    /// First data packet already inspected; ignore the rest.
+    SeenData,
+}
 
 /// Full GFW configuration.
 #[derive(Clone, Debug, Default)]
@@ -56,10 +68,8 @@ pub struct GfwState {
     pub fleet: Fleet,
     /// Every probe ever launched, with reactions as they resolve.
     pub probe_log: Vec<ProbeRecord>,
-    /// Connections created by the GFW itself (never self-triggering).
-    own_conns: HashSet<ConnId>,
-    /// Connections whose first data packet was already inspected.
-    seen_data: HashSet<ConnId>,
+    /// Per-connection tap state (own probes / already-inspected).
+    conn_track: HashMap<ConnId, ConnTrack>,
     /// First-data packets inspected (trigger candidates).
     pub inspected: u64,
     rng: StdRng,
@@ -93,8 +103,7 @@ impl Gfw {
             classifier: Classifier::new(),
             fleet,
             probe_log: Vec::new(),
-            own_conns: HashSet::new(),
-            seen_data: HashSet::new(),
+            conn_track: HashMap::new(),
             inspected: 0,
             rng: StdRng::seed_from_u64(seed),
             controller: AppId(u32::MAX),
@@ -124,17 +133,24 @@ impl Tap for GfwTap {
         if st.blocking.should_drop(ctx.now, pkt) {
             return TapVerdict::Drop;
         }
-        // 2. Never self-trigger on our own probes.
-        if st.own_conns.contains(&pkt.conn) {
-            return TapVerdict::Pass;
+        // 2+3. One hash probe resolves both "our own probe?" and
+        // "already inspected?"; RST/FIN retires an inspected entry.
+        match st.conn_track.get(&pkt.conn) {
+            Some(ConnTrack::Own) => return TapVerdict::Pass,
+            Some(ConnTrack::SeenData) => {
+                if pkt.flags.rst || pkt.flags.fin {
+                    st.conn_track.remove(&pkt.conn);
+                }
+                return TapVerdict::Pass;
+            }
+            None => {}
         }
-        // 3. Connection-table hygiene.
         if pkt.flags.rst || pkt.flags.fin {
-            st.seen_data.remove(&pkt.conn);
             return TapVerdict::Pass;
         }
         // 4. First data-carrying packet of a connection: passive stage.
-        if pkt.has_payload() && st.seen_data.insert(pkt.conn) {
+        if pkt.has_payload() {
+            st.conn_track.insert(pkt.conn, ConnTrack::SeenData);
             st.inspected += 1;
             let server = pkt.dst;
             if st.passive.is_candidate(&pkt.payload) {
@@ -195,7 +211,11 @@ impl GfwController {
                 (source, log_idx)
             };
             let conn = ctx.connect(source.ip, order.server, source.tuning);
-            self.state.borrow_mut().own_conns.insert(conn);
+            ctx.stats.probes_launched += 1;
+            self.state
+                .borrow_mut()
+                .conn_track
+                .insert(conn, ConnTrack::Own);
             self.pending.insert(
                 conn,
                 PendingProbe {

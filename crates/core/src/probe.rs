@@ -124,7 +124,7 @@ pub fn build_payload(kind: ProbeKind, base: Option<&[u8]>, rng: &mut impl Rng) -
 
 /// How a probed server reacted, as observed from the prober's side
 /// (§5's taxonomy).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Reaction {
     /// Neither data nor a close before the prober's own timeout; the
     /// prober FINs first.

@@ -4,6 +4,7 @@ use experiments::figures::ablation;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     println!("== Ablations (detector features, staged probing) ==  (scale {scale:?})\n");
     println!("{}", ablation::run(scale, 2020));

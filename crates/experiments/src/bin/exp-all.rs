@@ -1,37 +1,120 @@
-//! Run every experiment at quick scale and print the full report —
-//! the one-command regeneration of the paper's evaluation.
+//! Run every experiment and print the full report — the one-command
+//! regeneration of the paper's evaluation, executed through the
+//! deterministic parallel run engine.
+//!
+//! Flags:
+//!
+//! * `--paper` / `--full` — paper-comparable sample sizes (slower);
+//! * `--jobs N` — worker count (default: `GFWSIM_JOBS`, then available
+//!   parallelism); output is byte-identical for every `N`;
+//! * `--only <id,...>` — run a subset, e.g. `--only fig10,table5`;
+//! * `--stats` — append per-experiment simulator counters.
 
-use experiments::figures::*;
-use experiments::Scale;
+use experiments::figures::{Entry, REGISTRY};
+use experiments::report::Table;
+use experiments::{runner, Scale};
 
 fn main() {
+    runner::configure_from_env();
     let scale = Scale::from_args();
     let seed = 2020;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_stats = args.iter().any(|a| a == "--stats");
+    let entries: Vec<&Entry> = match only_filter(&args) {
+        Ok(entries) => entries,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
     println!("==== gfwsim: regenerating all tables & figures (scale {scale:?}) ====\n");
-    println!("== Table 1 ==\n{}", table1::render());
-    println!("== Fig 2 ==\n{}", fig2::run(scale, seed));
-    println!("== Fig 3 ==\n{}", fig3::run(scale, seed));
-    println!("== Table 2 ==\n{}", table2::run(scale, seed));
-    println!("== Fig 4 ==\n{}", fig4::run(scale, seed));
-    println!("== Table 3 ==\n{}", table3::run(scale, seed));
-    println!("== Fig 5 ==\n{}", fig5::run(scale, seed));
-    println!("== Fig 6 ==\n{}", fig6::run(scale, seed));
-    println!("== Fig 7 ==\n{}", fig7::run(scale, seed));
-    println!("== Table 4 ==\n{}", table4::run(scale, seed));
-    println!("== Fig 8 ==\n{}", fig8::run(scale, seed));
-    println!("== Fig 9 ==\n{}", fig9::run(scale, seed));
-    println!("== Fig 10 ==\n{}", fig10::run(scale, seed));
-    println!("== Table 5 ==\n{}", table5::run(scale, seed));
-    println!("== Fig 11 ==\n{}", fig11::run(scale, seed));
-    println!("== S6 blocking ==\n{}", blocking::run(scale, seed));
-    println!("== S5.2.2 inference ==\n{}", inference::run(scale, seed));
-    println!("== Extension: ablations ==\n{}", ablation::run(scale, seed));
-    println!(
-        "== Extension: fully-encrypted protocols (S9) ==\n{}",
-        fep::run(scale, seed)
-    );
-    println!(
-        "== Extension: probe battery size ==\n{}",
-        battery::run(scale, seed)
-    );
+    let specs: Vec<_> = entries
+        .iter()
+        .map(|e| {
+            let render = e.render;
+            move || render(scale, seed)
+        })
+        .collect();
+    let runs = runner::run_jobs_detailed(specs);
+    for (e, r) in entries.iter().zip(&runs) {
+        println!("== {} ==\n{}", e.title, r.output);
+    }
+
+    if show_stats {
+        let mut t = Table::new(&[
+            "experiment",
+            "events",
+            "conns",
+            "pkts sent",
+            "tapped",
+            "dropped",
+            "probes",
+            "peak queue",
+        ]);
+        let mut total = netsim::sim::SimStats::default();
+        for (e, r) in entries.iter().zip(&runs) {
+            let s = &r.stats;
+            total.merge(s);
+            t.row(&[
+                e.id.to_string(),
+                s.events.to_string(),
+                s.connections.to_string(),
+                s.packets_sent.to_string(),
+                s.packets_tapped.to_string(),
+                s.packets_dropped.to_string(),
+                s.probes_launched.to_string(),
+                s.peak_queue_depth.to_string(),
+            ]);
+        }
+        t.row(&[
+            "total".to_string(),
+            total.events.to_string(),
+            total.connections.to_string(),
+            total.packets_sent.to_string(),
+            total.packets_tapped.to_string(),
+            total.packets_dropped.to_string(),
+            total.probes_launched.to_string(),
+            total.peak_queue_depth.to_string(),
+        ]);
+        println!("== runner stats ==\n{}", t.render());
+    }
+}
+
+/// Resolve `--only a,b,c` against the registry, keeping registry order.
+fn only_filter(args: &[String]) -> Result<Vec<&'static Entry>, String> {
+    let mut wanted: Option<Vec<String>> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let list = if a == "--only" {
+            it.next().cloned().unwrap_or_default()
+        } else if let Some(v) = a.strip_prefix("--only=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        wanted = Some(
+            list.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        );
+    }
+    let Some(ids) = wanted else {
+        return Ok(REGISTRY.iter().collect());
+    };
+    for id in &ids {
+        if !REGISTRY.iter().any(|e| e.id == *id) {
+            let known: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+            return Err(format!(
+                "unknown experiment id `{id}`; known ids: {}",
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(REGISTRY
+        .iter()
+        .filter(|e| ids.iter().any(|id| id == e.id))
+        .collect())
 }

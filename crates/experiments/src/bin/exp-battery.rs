@@ -4,6 +4,7 @@ use experiments::figures::battery;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     println!("== Ablation (probe battery size) ==  (scale {scale:?})\n");
     println!("{}", battery::run(scale, 2020));

@@ -6,6 +6,7 @@ use experiments::figures::blocking;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     let seed = 2020;
     println!("== S6 (blocking behaviour) ==  (scale {scale:?}, seed {seed})\n");

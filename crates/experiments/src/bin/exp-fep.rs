@@ -4,6 +4,7 @@ use experiments::figures::fep;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     println!("== S9 (fully-encrypted protocols) ==  (scale {scale:?})\n");
     println!("{}", fep::run(scale, 2020));

@@ -6,6 +6,7 @@ use experiments::figures::fig5;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     let seed = 2020;
     println!("== Fig 5 (source-port CDF) ==  (scale {scale:?}, seed {seed})\n");

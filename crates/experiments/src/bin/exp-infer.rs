@@ -6,6 +6,7 @@ use experiments::figures::inference;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     let seed = 2020;
     println!("== S5.2.2 (implementation inference) ==  (scale {scale:?}, seed {seed})\n");

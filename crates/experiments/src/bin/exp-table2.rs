@@ -6,6 +6,7 @@ use experiments::figures::table2;
 use experiments::Scale;
 
 fn main() {
+    experiments::runner::configure_from_env();
     let scale = Scale::from_args();
     let seed = 2020;
     println!("== Table 2 (top prober IPs) ==  (scale {scale:?}, seed {seed})\n");

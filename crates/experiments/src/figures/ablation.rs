@@ -160,7 +160,10 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
     let mean = |det: &PassiveDetector, v: Variant, set: &[Vec<u8>]| {
         set.iter().map(|p| probability(det, v, p)).sum::<f64>() / set.len() as f64
     };
-    let scores = [
+    // The workloads are generated once; each variant is a runner job
+    // that borrows them (scoped workers need `Send`, not `'static`).
+    let (ss, tls, http) = (&ss_packets, &tls_packets, &http_packets);
+    let specs: Vec<_> = [
         Variant::LengthOnly,
         Variant::EntropyOnly,
         Variant::Combined,
@@ -168,15 +171,18 @@ pub fn run(scale: Scale, seed: u64) -> Ablation {
     ]
     .into_iter()
     .map(|variant| {
-        let det = detector(variant);
-        VariantScore {
-            variant,
-            tpr_weight: mean(&det, variant, &ss_packets),
-            fpr_tls: mean(&det, variant, &tls_packets),
-            fpr_http: mean(&det, variant, &http_packets),
+        move || {
+            let det = detector(variant);
+            VariantScore {
+                variant,
+                tpr_weight: mean(&det, variant, ss),
+                fpr_tls: mean(&det, variant, tls),
+                fpr_http: mean(&det, variant, http),
+            }
         }
     })
     .collect();
+    let scores = crate::runner::run_jobs(specs);
 
     // Staged-vs-unstaged probe cost against a server that is NOT
     // Shadowsocks (an echo-ish service that answers everything): the

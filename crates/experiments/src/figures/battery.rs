@@ -72,27 +72,32 @@ pub fn run(scale: Scale, seed: u64) -> Battery {
         Scale::Quick => &[1, 2, 4, 8, 16, 32],
         Scale::Paper => &[1, 2, 4, 8, 16, 32, 64, 128],
     };
-    let points = sweeps
+    // One runner job per battery size; each sweeps the whole grid.
+    let specs: Vec<_> = sweeps
         .iter()
         .map(|&samples| {
-            let cells = grid();
-            let correct = cells
-                .iter()
-                .filter(|(profile, method, should_identify)| {
-                    let config = ServerConfig::new(*method, "battery-pw", *profile);
-                    let mut oracle = EngineOracle::new(config, seed);
-                    let inf = infer(&mut oracle, samples);
-                    inf.shadowsocks_like == *should_identify
-                        && (!*should_identify || inf.nonce_len == Some(method.iv_len()))
-                })
-                .count();
-            Point {
-                samples,
-                accuracy: correct as f64 / grid().len() as f64,
+            move || {
+                let cells = grid();
+                let correct = cells
+                    .iter()
+                    .filter(|(profile, method, should_identify)| {
+                        let config = ServerConfig::new(*method, "battery-pw", *profile);
+                        let mut oracle = EngineOracle::new(config, seed);
+                        let inf = infer(&mut oracle, samples);
+                        inf.shadowsocks_like == *should_identify
+                            && (!*should_identify || inf.nonce_len == Some(method.iv_len()))
+                    })
+                    .count();
+                Point {
+                    samples,
+                    accuracy: correct as f64 / cells.len() as f64,
+                }
             }
         })
         .collect();
-    Battery { points }
+    Battery {
+        points: crate::runner::run_jobs(specs),
+    }
 }
 
 #[cfg(test)]

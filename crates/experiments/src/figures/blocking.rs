@@ -94,29 +94,46 @@ pub fn run(scale: Scale, seed: u64) -> Blocking {
         ..Default::default()
     };
 
-    let sensitive = shadowsocks_run(&SsRunConfig {
+    // The two regimes are independent worlds: run them as two jobs.
+    enum Regime {
+        Sensitive(Box<crate::runs::SsRunResult>),
+        Ordinary(usize, u64),
+    }
+    let sens_cfg = SsRunConfig {
         sensitivity: 1.0,
         ..base.clone()
-    });
-    let ordinary_res = {
-        let mut world = crate::runs::build_ss_world(&SsRunConfig {
-            sensitivity: 0.0,
-            ..base.clone()
-        });
-        for i in 0..base.connections {
-            world.sim.connect_at(
-                netsim::time::SimTime::ZERO
-                    + Duration::from_nanos(base.conn_interval.as_nanos() * i as u64),
-                world.driver,
-                world.client_ip,
-                (world.server_ip, 8388),
-                netsim::conn::TcpTuning::default(),
-            );
-        }
-        world.sim.run();
-        let st = world.handle.state.borrow();
-        (st.blocking.all_rules().len(), st.blocking.suppressed)
     };
+    let ord_cfg = SsRunConfig {
+        sensitivity: 0.0,
+        ..base.clone()
+    };
+    let jobs: Vec<Box<dyn FnOnce() -> Regime + Send>> = vec![
+        Box::new(move || Regime::Sensitive(Box::new(shadowsocks_run(&sens_cfg)))),
+        Box::new(move || {
+            let mut world = crate::runs::build_ss_world(&ord_cfg);
+            for i in 0..ord_cfg.connections {
+                world.sim.connect_at(
+                    netsim::time::SimTime::ZERO
+                        + Duration::from_nanos(ord_cfg.conn_interval.as_nanos() * i as u64),
+                    world.driver,
+                    world.client_ip,
+                    (world.server_ip, 8388),
+                    netsim::conn::TcpTuning::default(),
+                );
+            }
+            world.sim.run();
+            crate::runner::record_sim_stats(&world.sim.stats);
+            let st = world.handle.state.borrow();
+            Regime::Ordinary(st.blocking.all_rules().len(), st.blocking.suppressed)
+        }),
+    ];
+    let mut out = crate::runner::run_jobs(jobs).into_iter();
+    let (Some(Regime::Sensitive(sensitive)), Some(Regime::Ordinary(ord_rules, ord_suppressed))) =
+        (out.next(), out.next())
+    else {
+        unreachable!("runner returns outputs in spec order");
+    };
+    let ordinary_res = (ord_rules, ord_suppressed);
 
     let scopes = sensitive
         .block_rules

@@ -140,6 +140,7 @@ pub fn run(scale: Scale, seed: u64) -> Fep {
         sim.connect_at(t, tls, client_ip, (tls_ip, 443), TcpTuning::default());
     }
     sim.run();
+    crate::runner::record_sim_stats(&sim.stats);
 
     let st = handle.state.borrow();
     let probes_vmess = st

@@ -77,26 +77,40 @@ fn collect_epoch(fleet: &mut Fleet, probes: usize) -> HashSet<Ipv4> {
 }
 
 /// Run the experiment: three epochs, heavy churn between them.
+///
+/// Each epoch is an independent runner job that re-derives its exact
+/// fleet state from the seed by replaying the earlier epochs' draws and
+/// churn steps — redundant compute, identical bytes, and the epochs run
+/// concurrently.
 pub fn run(scale: Scale, seed: u64) -> Fig4 {
-    let mut sim = Simulator::new(SimConfig::default(), seed);
     let pool = scale.pick(6_000, 60_000);
-    let mut fleet = Fleet::install(
-        &mut sim,
-        FleetConfig {
-            pool_size: pool,
-            ..Default::default()
-        },
-        seed,
-    );
     // Epoch sizes scaled from the paper's dataset sizes.
     let scale_div = scale.pick(20, 1);
-    let a = collect_epoch(&mut fleet, 90_000 / scale_div);
-    fleet.churn_epoch(0.01);
-    let b = collect_epoch(&mut fleet, 4_000 / scale_div);
-    fleet.churn_epoch(0.02);
-    let c = collect_epoch(&mut fleet, 52_000 / scale_div);
+    let sizes = [90_000 / scale_div, 4_000 / scale_div, 52_000 / scale_div];
+    let churn = [0.01, 0.02];
+    let specs: Vec<_> = (0..sizes.len())
+        .map(|k| {
+            move || {
+                let mut sim = Simulator::new(SimConfig::default(), seed);
+                let mut fleet = Fleet::install(
+                    &mut sim,
+                    FleetConfig {
+                        pool_size: pool,
+                        ..Default::default()
+                    },
+                    seed,
+                );
+                for (&size, &retain) in sizes.iter().zip(churn.iter()).take(k) {
+                    let _ = collect_epoch(&mut fleet, size);
+                    fleet.churn_epoch(retain);
+                }
+                collect_epoch(&mut fleet, sizes[k])
+            }
+        })
+        .collect();
+    let epochs = crate::runner::run_jobs(specs);
     Fig4 {
-        venn: venn3(&a, &b, &c),
+        venn: venn3(&epochs[0], &epochs[1], &epochs[2]),
     }
 }
 

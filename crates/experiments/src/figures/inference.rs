@@ -109,22 +109,27 @@ pub fn run(scale: Scale, seed: u64) -> InferenceStudy {
         (Profile::SS_PYTHON, Method::Aes256Cfb),
         (Profile::SSR, Method::Aes256Cfb),
     ];
-    let cells = grid
+    // One runner job per grid cell.
+    let specs: Vec<_> = grid
         .into_iter()
         .map(|(profile, method)| {
-            let config = ServerConfig::new(method, "infer-pw", profile);
-            let mut oracle = EngineOracle::new(config, seed);
-            let inference = infer(&mut oracle, samples);
-            let nonce_correct = inference.nonce_len.map(|n| n == method.iv_len());
-            Cell {
-                profile: profile.name,
-                method,
-                inference,
-                nonce_correct,
+            move || {
+                let config = ServerConfig::new(method, "infer-pw", profile);
+                let mut oracle = EngineOracle::new(config, seed);
+                let inference = infer(&mut oracle, samples);
+                let nonce_correct = inference.nonce_len.map(|n| n == method.iv_len());
+                Cell {
+                    profile: profile.name,
+                    method,
+                    inference,
+                    nonce_correct,
+                }
             }
         })
         .collect();
-    InferenceStudy { cells }
+    InferenceStudy {
+        cells: crate::runner::run_jobs(specs),
+    }
 }
 
 #[cfg(test)]

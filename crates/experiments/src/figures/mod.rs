@@ -1,5 +1,6 @@
 //! One module per paper table/figure. Each exposes a `run` function
-//! returning a displayable, assertable result.
+//! returning a displayable, assertable result; [`REGISTRY`] lists every
+//! experiment as a (id, title, render) spec for the run engine.
 
 pub mod ablation;
 pub mod battery;
@@ -21,3 +22,121 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+
+use crate::Scale;
+
+/// One registered experiment: a stable id (the `--only` key), the
+/// banner title `exp-all` prints, and the render job — the thin
+/// spec → report-text pair the run engine executes.
+pub struct Entry {
+    /// Stable identifier, e.g. `fig10` or `table5`.
+    pub id: &'static str,
+    /// Banner title, e.g. `Fig 10`.
+    pub title: &'static str,
+    /// Render the experiment at a scale and seed.
+    pub render: fn(Scale, u64) -> String,
+}
+
+/// Every experiment, in the paper's evaluation order.
+pub const REGISTRY: &[Entry] = &[
+    Entry {
+        id: "table1",
+        title: "Table 1",
+        render: |_, _| table1::render(),
+    },
+    Entry {
+        id: "fig2",
+        title: "Fig 2",
+        render: |s, seed| fig2::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig3",
+        title: "Fig 3",
+        render: |s, seed| fig3::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "table2",
+        title: "Table 2",
+        render: |s, seed| table2::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig4",
+        title: "Fig 4",
+        render: |s, seed| fig4::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "table3",
+        title: "Table 3",
+        render: |s, seed| table3::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig5",
+        title: "Fig 5",
+        render: |s, seed| fig5::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig6",
+        title: "Fig 6",
+        render: |s, seed| fig6::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig7",
+        title: "Fig 7",
+        render: |s, seed| fig7::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "table4",
+        title: "Table 4",
+        render: |s, seed| table4::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig8",
+        title: "Fig 8",
+        render: |s, seed| fig8::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig9",
+        title: "Fig 9",
+        render: |s, seed| fig9::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig10",
+        title: "Fig 10",
+        render: |s, seed| fig10::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "table5",
+        title: "Table 5",
+        render: |s, seed| table5::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fig11",
+        title: "Fig 11",
+        render: |s, seed| fig11::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "blocking",
+        title: "S6 blocking",
+        render: |s, seed| blocking::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "inference",
+        title: "S5.2.2 inference",
+        render: |s, seed| inference::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "ablation",
+        title: "Extension: ablations",
+        render: |s, seed| ablation::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "fep",
+        title: "Extension: fully-encrypted protocols (S9)",
+        render: |s, seed| fep::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "battery",
+        title: "Extension: probe battery size",
+        render: |s, seed| battery::run(s, seed).to_string(),
+    },
+];

@@ -51,7 +51,7 @@ impl std::fmt::Display for Table3 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 3 — unique prober addresses per AS\n")?;
         let mut rows: Vec<(u32, usize)> = self.per_as.iter().map(|(&a, &c)| (a, c)).collect();
-        rows.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        rows.sort_by_key(|&(asn, c)| (std::cmp::Reverse(c), asn));
         let mut t = Table::new(&["AS", "measured unique IPs", "paper unique IPs"]);
         for (asn, count) in rows {
             let paper = analysis::asn::AS_TABLE

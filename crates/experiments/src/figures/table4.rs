@@ -108,25 +108,29 @@ impl std::fmt::Display for Table4 {
     }
 }
 
-/// Run all four experiments.
+/// Run all four experiments, one runner job each.
 pub fn run(scale: Scale, seed: u64) -> Table4 {
     let connections = scale.pick(6_000, 120_000);
     let conn_interval = Duration::from_secs(2);
-    let rows = [SinkExp::Exp1a, SinkExp::Exp1b, SinkExp::Exp2, SinkExp::Exp3]
+    let specs: Vec<_> = [SinkExp::Exp1a, SinkExp::Exp1b, SinkExp::Exp2, SinkExp::Exp3]
         .into_iter()
         .map(|exp| {
-            (
-                exp,
-                sink_run(&SinkRunConfig {
+            move || {
+                (
                     exp,
-                    connections,
-                    conn_interval,
-                    seed: seed ^ (exp as u64) << 8,
-                }),
-            )
+                    sink_run(&SinkRunConfig {
+                        exp,
+                        connections,
+                        conn_interval,
+                        seed: seed ^ (exp as u64) << 8,
+                    }),
+                )
+            }
         })
         .collect();
-    Table4 { rows }
+    Table4 {
+        rows: crate::runner::run_jobs(specs),
+    }
 }
 
 #[cfg(test)]

@@ -105,20 +105,25 @@ pub fn run(_scale: Scale, seed: u64) -> Table5 {
             Method::ChaCha20IetfPoly1305,
         ),
     ];
-    let rows = cases
+    // One runner job per implementation/mode case.
+    let specs: Vec<_> = cases
         .into_iter()
         .map(|(implementation, mode, profile, method)| {
-            let config = ServerConfig::new(method, "t5-pw", profile);
-            let (identical, changed) = replay_table(&config, seed);
-            Row {
-                implementation,
-                mode,
-                identical,
-                changed,
+            move || {
+                let config = ServerConfig::new(method, "t5-pw", profile);
+                let (identical, changed) = replay_table(&config, seed);
+                Row {
+                    implementation,
+                    mode,
+                    identical,
+                    changed,
+                }
             }
         })
         .collect();
-    Table5 { rows }
+    Table5 {
+        rows: crate::runner::run_jobs(specs),
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 pub mod export;
 pub mod figures;
 pub mod report;
+pub mod runner;
 pub mod runs;
 
 /// Experiment scale: `Quick` for tests/benches, `Paper` for runs that

@@ -283,6 +283,7 @@ pub fn shadowsocks_run(cfg: &SsRunConfig) -> SsRunResult {
         );
     }
     world.sim.run();
+    crate::runner::record_sim_stats(&world.sim.stats);
     harvest(&world, cfg.connections)
 }
 
@@ -373,6 +374,7 @@ pub fn sink_run(cfg: &SinkRunConfig) -> SinkRunResult {
         );
     }
     sim.run();
+    crate::runner::record_sim_stats(&sim.stats);
 
     // Trigger facts from the capture: the first data packet of each
     // client connection (probes excluded via AS lookup).
@@ -439,19 +441,26 @@ pub struct BrdgrdRunResult {
     pub active_windows: Vec<(u64, u64)>,
 }
 
-/// Run the Fig 11 experiment.
-pub fn brdgrd_run(cfg: &BrdgrdRunConfig) -> BrdgrdRunResult {
+/// One toggle-to-toggle stretch of the Fig 11 schedule, simulated in
+/// its own fresh world with the shaper constantly on or off, counting
+/// prober SYNs hour by hour.
+fn brdgrd_segment(cfg: &BrdgrdRunConfig, start: u64, end: u64, active: bool) -> Vec<u32> {
     let ss_cfg = SsRunConfig {
         connections: 0,
-        seed: cfg.seed,
+        // Distinct per-segment seed, derived from the run seed and the
+        // segment's position in the schedule.
+        seed: cfg.seed ^ start.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         ..Default::default()
     };
     let mut world = build_ss_world(&ss_cfg);
-    // Schedule all trigger connections for the whole run.
+    if active {
+        Brdgrd::default().enable(&mut world.sim, world.server_ip);
+    }
+    // The segment's share of the trigger schedule.
     let interval_secs = (300 / cfg.conns_per_5min.max(1)).max(1);
     let interval = Duration::from_secs(interval_secs);
-    let total_conns = cfg.hours * 3600 / interval_secs;
-    for i in 0..total_conns {
+    let seg_conns = (end - start) * 3600 / interval_secs;
+    for i in 0..seg_conns {
         world.sim.connect_at(
             SimTime::ZERO + Duration::from_nanos(interval.as_nanos() * i),
             world.driver,
@@ -460,23 +469,12 @@ pub fn brdgrd_run(cfg: &BrdgrdRunConfig) -> BrdgrdRunResult {
             TcpTuning::default(),
         );
     }
-    // Toggle brdgrd on the schedule while stepping hour by hour.
-    let brdgrd = Brdgrd::default();
-    let mut probes_per_hour = Vec::with_capacity(cfg.hours as usize);
+    let mut probes_per_hour = Vec::with_capacity((end - start) as usize);
     let mut last_count = 0usize;
-    for hour in 0..cfg.hours {
-        let active = cfg
-            .active_windows
-            .iter()
-            .any(|&(s, e)| hour >= s && hour < e);
-        if active {
-            brdgrd.enable(&mut world.sim, world.server_ip);
-        } else {
-            Brdgrd::disable(&mut world.sim, world.server_ip);
-        }
+    for hour in 1..=(end - start) {
         world
             .sim
-            .run_until(SimTime::ZERO + Duration::from_hours(hour + 1));
+            .run_until(SimTime::ZERO + Duration::from_hours(hour));
         let syns_so_far = world
             .sim
             .capture(world.cap)
@@ -486,6 +484,44 @@ pub fn brdgrd_run(cfg: &BrdgrdRunConfig) -> BrdgrdRunResult {
         probes_per_hour.push((syns_so_far - last_count) as u32);
         last_count = syns_so_far;
     }
+    crate::runner::record_sim_stats(&world.sim.stats);
+    probes_per_hour
+}
+
+/// Run the Fig 11 experiment.
+///
+/// Every stretch of hours between shaper toggles is an independent
+/// runner job (a fresh world with brdgrd constantly on or off); the
+/// per-hour counts are concatenated in schedule order. Segment
+/// isolation — no probe stragglers crossing a toggle — is the one
+/// deliberate deviation from a single continuous world; the figure's
+/// observable (probe rate while shaped vs unshaped) is unaffected, and
+/// the segments run concurrently.
+pub fn brdgrd_run(cfg: &BrdgrdRunConfig) -> BrdgrdRunResult {
+    let mut bounds: Vec<u64> = vec![0, cfg.hours];
+    for &(s, e) in &cfg.active_windows {
+        bounds.push(s.min(cfg.hours));
+        bounds.push(e.min(cfg.hours));
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+    let specs: Vec<_> = bounds
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .map(|w| {
+            let (start, end) = (w[0], w[1]);
+            let active = cfg
+                .active_windows
+                .iter()
+                .any(|&(s, e)| start >= s && start < e);
+            let cfg = cfg.clone();
+            move || brdgrd_segment(&cfg, start, end, active)
+        })
+        .collect();
+    let probes_per_hour = crate::runner::run_jobs(specs)
+        .into_iter()
+        .flatten()
+        .collect();
     BrdgrdRunResult {
         probes_per_hour,
         active_windows: cfg.active_windows.clone(),

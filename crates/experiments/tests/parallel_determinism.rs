@@ -1,0 +1,54 @@
+//! The run engine's core guarantee: worker count never changes output.
+//!
+//! Spawns the real `exp-all` binary (process isolation keeps the global
+//! jobs override of each run independent) on a representative subset —
+//! a pure-engine grid (fig10), a multi-sim sweep (table4), and a
+//! single-sim figure (fig2) — and asserts byte-identical stdout for
+//! `--jobs 1` versus `--jobs 4`.
+
+use std::process::Command;
+
+fn exp_all_stdout(jobs: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp-all"))
+        .args(["--only", "fig2,fig10,table4", "--jobs", jobs])
+        .env_remove("GFWSIM_JOBS")
+        .output()
+        .expect("spawn exp-all");
+    assert!(
+        out.status.success(),
+        "exp-all --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn output_is_byte_identical_across_worker_counts() {
+    let sequential = exp_all_stdout("1");
+    let parallel = exp_all_stdout("4");
+    assert!(
+        !sequential.is_empty(),
+        "exp-all produced no output at --jobs 1"
+    );
+    assert_eq!(
+        sequential,
+        parallel,
+        "exp-all output differs between --jobs 1 and --jobs 4:\n--- jobs=1 ---\n{}\n--- jobs=4 ---\n{}",
+        String::from_utf8_lossy(&sequential),
+        String::from_utf8_lossy(&parallel)
+    );
+}
+
+#[test]
+fn unknown_only_id_is_rejected() {
+    let out = Command::new(env!("CARGO_BIN_EXE_exp-all"))
+        .args(["--only", "fig99"])
+        .output()
+        .expect("spawn exp-all");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown experiment id `fig99`"),
+        "stderr: {err}"
+    );
+}

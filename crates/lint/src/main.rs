@@ -42,7 +42,8 @@ fn parse_args() -> Result<Args, String> {
                     "gfw-lint: workspace invariant checker\n\n\
                      USAGE: gfw-lint [--root DIR] [--json] [--fix] [--bless]\n\n\
                      Rules: D1 determinism, D2 crate attributes, P1 panic budget,\n\
-                     C1 protocol-constant consistency, H1 workspace dependencies.\n\
+                     C1 protocol-constant consistency, H1 workspace dependencies,\n\
+                     T1 thread isolation (threads only in experiments::runner).\n\
                      Suppress one finding with `// gfwlint: allow(RULE)`.\n\n\
                      --root DIR  lint this workspace (default: nearest enclosing workspace)\n\
                      --json      machine-readable output\n\

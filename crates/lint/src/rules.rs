@@ -1,4 +1,4 @@
-//! The five lint rules.
+//! The six lint rules.
 //!
 //! Each rule pushes [`Finding`]s (and honored allow-escapes) into the
 //! shared [`Report`]. All rules operate on the comment/string-stripped
@@ -26,6 +26,34 @@ const D1_TOKENS: &[&str] = &[
 
 /// Explicit panic-site tokens counted by P1.
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// Crates that must stay single-threaded-deterministic (T1): the
+/// simulation stack never spawns threads or uses channel-based
+/// concurrency — all parallelism lives in `experiments::runner`.
+pub const SINGLE_THREADED_CRATES: &[&str] = &[
+    "core",
+    "netsim",
+    "probesim",
+    "trafficgen",
+    "defense",
+    "shadowsocks",
+    "sscrypto",
+];
+
+/// Threading primitives banned outside the run engine. `std::thread`
+/// also covers `thread::spawn`/`scope`/`Builder` via the path prefix;
+/// the bare forms are listed for `use`-renamed call sites.
+const T1_TOKENS: &[&str] = &[
+    "std::thread",
+    "thread::spawn",
+    "thread::scope",
+    "thread::Builder",
+    "std::sync::mpsc",
+    "rayon",
+];
+
+/// The one place threads are allowed: the run engine.
+const T1_RUNNER: &str = "crates/experiments/src/runner.rs";
 
 /// The paper's IV/salt length table (Fig 10 row groups): every
 /// `sscrypto::method::Method` variant and the byte length its
@@ -104,6 +132,56 @@ pub fn d1_determinism(ws: &Workspace, report: &mut Report) {
                     message: format!(
                         "`{token}` in simulation crate `{crate_name}`: simulations must \
                          derive all time and randomness from the seeded simulator state"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// T1: thread primitives only inside `experiments::runner`.
+///
+/// The simulators are pure functions of the seed precisely because
+/// each `Simulator` lives on one thread (`Rc<RefCell>` taps, one
+/// `StdRng`, one event queue). Any thread spawned inside a sim crate
+/// would either fail to compile (`!Send`) or, worse, introduce
+/// scheduling nondeterminism that D1 cannot see. The run engine gets
+/// its parallelism by building a whole `Simulator` per worker, so the
+/// only legitimate home for `std::thread` is `runner.rs` itself.
+pub fn t1_thread_isolation(ws: &Workspace, report: &mut Report) {
+    let mut prefixes: Vec<String> = SINGLE_THREADED_CRATES
+        .iter()
+        .map(|c| format!("crates/{c}/"))
+        .collect();
+    prefixes.push("crates/experiments/".to_string());
+    for prefix in prefixes {
+        let rels: Vec<String> = ws
+            .sources_under(&prefix)
+            .filter(|f| f.rel != T1_RUNNER)
+            .map(|f| f.rel.clone())
+            .collect();
+        for rel in rels {
+            let file = &ws.sources[&rel];
+            let mut hits = Vec::new();
+            for (idx, line) in file.lines.iter().enumerate() {
+                // One finding per line: the tokens overlap by design
+                // (`std::thread::spawn` matches two of them).
+                if let Some(token) = T1_TOKENS.iter().find(|t| has_token(&line.code, t)) {
+                    hits.push((idx, *token));
+                }
+            }
+            for (idx, token) in hits {
+                if allowed(report, "T1", &ws.sources[&rel], idx) {
+                    continue;
+                }
+                report.findings.push(Finding {
+                    rule: "T1",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{token}` outside `experiments::runner`: simulation code is \
+                         single-threaded by contract; declare parallel work as runner \
+                         jobs instead"
                     ),
                 });
             }

@@ -1,0 +1,6 @@
+//! Fixture experiments crate: the runner may use threads; nothing else may.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;

@@ -1,0 +1,10 @@
+//! The run engine — the one file where thread primitives are allowed.
+
+/// Run jobs on scoped worker threads.
+pub fn run_jobs(jobs: Vec<fn()>) {
+    std::thread::scope(|s| {
+        for job in jobs {
+            s.spawn(job);
+        }
+    });
+}

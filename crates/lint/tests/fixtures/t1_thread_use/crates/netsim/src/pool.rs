@@ -1,0 +1,23 @@
+//! Fixture worker pool inside a sim crate — T1 forbids this.
+
+use std::thread;
+use std::sync::mpsc;
+
+/// Fan a batch of jobs out to spawned threads (forbidden here).
+pub fn run_all(jobs: Vec<fn()>) {
+    let (tx, rx) = mpsc::channel::<()>();
+    for job in jobs {
+        let tx = tx.clone();
+        thread::spawn(move || {
+            job();
+            tx.send(()).ok();
+        });
+    }
+    drop(tx);
+    for _ in rx.iter() {}
+}
+
+/// An explicitly waived diagnostic helper.
+pub fn current_name() -> Option<String> {
+    std::thread::current().name().map(str::to_owned) // gfwlint: allow(T1)
+}

@@ -156,6 +156,30 @@ fn h1_flags_versioned_and_path_deps() {
 }
 
 #[test]
+fn t1_flags_threads_outside_the_runner() {
+    let report = lint_fixture("t1_thread_use");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("T1", "crates/netsim/src/pool.rs", 3),
+            ("T1", "crates/netsim/src/pool.rs", 4),
+            ("T1", "crates/netsim/src/pool.rs", 11),
+        ],
+        "got:\n{}",
+        render_human(&report)
+    );
+    assert!(report.findings[0].message.contains("`std::thread`"));
+    assert!(report.findings[1].message.contains("`std::sync::mpsc`"));
+    assert!(report.findings[2].message.contains("`thread::spawn`"));
+    // `experiments::runner` uses `std::thread::scope` and is exempt;
+    // the waived diagnostic helper's escape is honored, not flagged.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "T1");
+    assert_eq!(report.allows[0].file, "crates/netsim/src/pool.rs");
+    assert_eq!(report.allows[0].line, 22);
+}
+
+#[test]
 fn fix_inserts_missing_attributes() {
     let root = copy_to_temp("d2_missing_attrs");
     let opts = Options { root: root.clone() };

@@ -7,6 +7,7 @@
 
 use crate::conn::{ConnId, TcpTuning};
 use crate::packet::{Ipv4, SocketAddr};
+use crate::sim::SimStats;
 use crate::time::{Duration, SimTime};
 use rand::rngs::StdRng;
 
@@ -105,6 +106,10 @@ pub struct Ctx<'a> {
     /// Simulator RNG (shared; draws are part of the deterministic
     /// schedule).
     pub rng: &'a mut StdRng,
+    /// Simulator counters. Apps may bump domain counters here (e.g.
+    /// [`SimStats::probes_launched`]); counters never feed back into
+    /// the schedule, so determinism is unaffected.
+    pub stats: &'a mut SimStats,
     pub(crate) app: AppId,
     pub(crate) commands: &'a mut Vec<(AppId, Command)>,
     pub(crate) next_conn_id: &'a mut u64,
@@ -165,9 +170,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut commands = Vec::new();
         let mut next = 7u64;
+        let mut stats = SimStats::default();
         let mut ctx = Ctx {
             now: SimTime::ZERO,
             rng: &mut rng,
+            stats: &mut stats,
             app: AppId(3),
             commands: &mut commands,
             next_conn_id: &mut next,

@@ -103,6 +103,27 @@ pub struct SimStats {
     pub packets_dropped: u64,
     /// Events processed.
     pub events: u64,
+    /// Border-crossing packets offered to taps.
+    pub packets_tapped: u64,
+    /// Probe connections launched by apps (incremented by the GFW
+    /// controller through [`crate::app::Ctx::stats`]).
+    pub probes_launched: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
+}
+
+impl SimStats {
+    /// Fold another counter block into this one: counters add, the
+    /// queue high-water mark takes the max.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.connections += other.connections;
+        self.packets_sent += other.packets_sent;
+        self.packets_dropped += other.packets_dropped;
+        self.events += other.events;
+        self.packets_tapped += other.packets_tapped;
+        self.probes_launched += other.probes_launched;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
 }
 
 struct PendingConnect {
@@ -342,6 +363,7 @@ impl Simulator {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(Scheduled { at, seq, ev }));
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
     }
 
     fn region_of(&self, a: Ipv4) -> Option<Region> {
@@ -440,6 +462,7 @@ impl Simulator {
 
         // Taps only see border-crossing packets.
         if self.crosses_border(src.0, dst.0) {
+            self.stats.packets_tapped += 1;
             let mut tap_ctx = TapCtx::new(self.now);
             let mut dropped = false;
             for tap in &mut self.taps {
@@ -475,6 +498,7 @@ impl Simulator {
                 app,
                 commands: &mut commands,
                 next_conn_id: &mut self.next_conn_id,
+                stats: &mut self.stats,
             };
             a.on_event(ev, &mut ctx);
         }

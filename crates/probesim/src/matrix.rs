@@ -30,16 +30,21 @@ impl MatrixRow {
         *self.counts.get(&r).unwrap_or(&0) as f64 / self.total() as f64
     }
 
-    /// The dominant reaction, if any probes were sent.
+    /// The dominant reaction, if any probes were sent. Count ties break
+    /// on the taxonomy order so the answer never depends on hash-map
+    /// iteration order.
     pub fn dominant(&self) -> Option<Reaction> {
-        self.counts.iter().max_by_key(|(_, &c)| c).map(|(&r, _)| r)
+        self.counts
+            .iter()
+            .max_by_key(|&(&r, &c)| (c, std::cmp::Reverse(r)))
+            .map(|(&r, _)| r)
     }
 
     /// Render like a Fig 10 cell: the dominant reaction, annotated with
     /// minority reactions when present.
     pub fn cell(&self) -> String {
         let mut parts: Vec<(Reaction, usize)> = self.counts.iter().map(|(&r, &c)| (r, c)).collect();
-        parts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        parts.sort_by_key(|&(r, c)| (std::cmp::Reverse(c), r));
         let name = |r: Reaction| match r {
             Reaction::Timeout => "TIMEOUT",
             Reaction::Rst => "RST",
