@@ -14,13 +14,22 @@ cargo clippy --all-targets -- -D warnings
 echo "==> gfw-lint"
 cargo run -q -p gfw-lint
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace so member binaries (exp-all, exp-impair, ...) are built
+# even from a clean checkout; the root package alone would not pull
+# dependency bins in.
+cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q
+echo "==> cargo test --workspace"
+cargo test -q --workspace
 
 echo "==> exp-all --jobs 2 smoke (quick scale)"
 ./target/release/exp-all --jobs 2 --only fig2,fig10,table4 > /dev/null
+
+echo "==> exp-impair --jobs 2 smoke (quick scale)"
+./target/release/exp-impair --jobs 2 > /dev/null
+
+echo "==> golden-output suite (re-bless with GFWSIM_BLESS=1 after intended changes)"
+cargo test -q -p experiments --test golden
 
 echo "ci.sh: all gates passed"

@@ -135,6 +135,7 @@ mod tests {
             tsval: Some(1234),
             payload: Bytes::copy_from_slice(payload),
             conn: ConnId(0),
+            retx: false,
         }
     }
 

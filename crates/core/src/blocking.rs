@@ -177,6 +177,7 @@ mod tests {
             tsval: Some(0),
             payload: Bytes::from_static(b"x"),
             conn: ConnId(0),
+            retx: false,
         }
     }
 

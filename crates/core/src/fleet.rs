@@ -37,6 +37,13 @@ pub struct FleetConfig {
     pub linux_port_frac: f64,
     /// Process weights; index 6 is the 1000 Hz process.
     pub process_weights: [f64; 7],
+    /// Connect-failure retry budget per probe: how many times the
+    /// controller re-launches a probe (from a freshly assigned source)
+    /// whose TCP connect failed before recording `ConnectFailed`. Zero
+    /// — the calibrated default — leaves every existing experiment's
+    /// schedule untouched; lossy-link experiments raise it so probing
+    /// stays observable when SYNs can vanish.
+    pub probe_retries: u32,
 }
 
 impl Default for FleetConfig {
@@ -48,6 +55,7 @@ impl Default for FleetConfig {
             // One process dominates; the 1000 Hz process is the tiny
             // cluster of ~22 probes the paper observed.
             process_weights: [0.645, 0.10, 0.09, 0.07, 0.05, 0.044, 0.001],
+            probe_retries: 0,
         }
     }
 }

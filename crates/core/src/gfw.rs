@@ -112,6 +112,7 @@ impl Gfw {
             state: state.clone(),
             pending: HashMap::new(),
             probe_timeout_secs: (5, 9),
+            probe_retries: config.fleet.probe_retries,
         }));
         state.borrow_mut().controller = controller;
         sim.add_tap(Box::new(GfwTap {
@@ -176,6 +177,7 @@ struct PendingProbe {
     log_idx: usize,
     payload: Vec<u8>,
     sent: bool,
+    retries_left: u32,
 }
 
 /// The controller app: fires due orders, observes reactions.
@@ -183,6 +185,7 @@ struct GfwController {
     state: Rc<RefCell<GfwState>>,
     pending: HashMap<ConnId, PendingProbe>,
     probe_timeout_secs: (u64, u64),
+    probe_retries: u32,
 }
 
 impl GfwController {
@@ -207,6 +210,7 @@ impl GfwController {
                     src_port: source.port,
                     process: source.process,
                     reaction: None,
+                    attempts: 1,
                 });
                 (source, log_idx)
             };
@@ -222,6 +226,7 @@ impl GfwController {
                     log_idx,
                     payload: order.payload,
                     sent: false,
+                    retries_left: self.probe_retries,
                 },
             );
         }
@@ -230,6 +235,43 @@ impl GfwController {
         if let Some(due) = next {
             ctx.set_timer(due.since(ctx.now), TOKEN_ORDERS);
         }
+    }
+
+    /// A probe whose TCP connect failed is re-launched from a freshly
+    /// assigned fleet source while its retry budget lasts (under link
+    /// loss this is what keeps TIMEOUT-vs-CONNFAIL observations
+    /// meaningful); once the budget is spent it resolves as
+    /// `ConnectFailed`.
+    fn retry_or_resolve(&mut self, conn: ConnId, ctx: &mut Ctx) {
+        let can_retry = self.pending.get(&conn).is_some_and(|p| p.retries_left > 0);
+        if !can_retry {
+            self.resolve(conn, Reaction::ConnectFailed, ctx);
+            return;
+        }
+        let Some(mut p) = self.pending.remove(&conn) else {
+            return;
+        };
+        p.retries_left -= 1;
+        p.sent = false;
+        let (source, server) = {
+            let mut st = self.state.borrow_mut();
+            let source = st.fleet.assign(ctx.now);
+            let rec = &mut st.probe_log[p.log_idx];
+            let server = rec.server;
+            rec.src = source.ip;
+            rec.src_port = source.port;
+            rec.process = source.process;
+            rec.sent_at = ctx.now;
+            rec.attempts += 1;
+            (source, server)
+        };
+        let new_conn = ctx.connect(source.ip, server, source.tuning);
+        ctx.stats.probes_launched += 1;
+        self.state
+            .borrow_mut()
+            .conn_track
+            .insert(new_conn, ConnTrack::Own);
+        self.pending.insert(new_conn, p);
     }
 
     fn resolve(&mut self, conn: ConnId, reaction: Reaction, ctx: &mut Ctx) {
@@ -288,7 +330,7 @@ impl App for GfwController {
                 }
             }
             AppEvent::ConnectFailed { conn, .. } => {
-                self.resolve(conn, Reaction::ConnectFailed, ctx);
+                self.retry_or_resolve(conn, ctx);
             }
             AppEvent::Data { conn, .. } if self.pending.contains_key(&conn) => {
                 ctx.fin(conn);

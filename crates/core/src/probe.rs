@@ -164,6 +164,9 @@ pub struct ProbeRecord {
     pub process: usize,
     /// Observed reaction, once known.
     pub reaction: Option<Reaction>,
+    /// Connection attempts made (1 + connect-failure retries). The
+    /// source fields reflect the attempt that resolved.
+    pub attempts: u32,
 }
 
 #[cfg(test)]

@@ -104,17 +104,67 @@ fn only_filter(args: &[String]) -> Result<Vec<&'static Entry>, String> {
     let Some(ids) = wanted else {
         return Ok(REGISTRY.iter().collect());
     };
-    for id in &ids {
-        if !REGISTRY.iter().any(|e| e.id == *id) {
-            let known: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
-            return Err(format!(
-                "unknown experiment id `{id}`; known ids: {}",
-                known.join(", ")
-            ));
-        }
+    // Collect every unknown id before failing, so a mixed list reports
+    // all its mistakes in one pass instead of one per invocation.
+    let unknown: Vec<&String> = ids
+        .iter()
+        .filter(|id| !REGISTRY.iter().any(|e| e.id == **id))
+        .collect();
+    if !unknown.is_empty() {
+        let known: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        let listed = unknown
+            .iter()
+            .map(|id| format!("unknown experiment id `{id}`"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        return Err(format!("{listed}\nknown ids: {}", known.join(", ")));
     }
     Ok(REGISTRY
         .iter()
         .filter(|e| ids.iter().any(|id| id == e.id))
         .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_only_selects_everything() {
+        let entries = only_filter(&args(&["--jobs", "2"])).unwrap();
+        assert_eq!(entries.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn known_ids_keep_registry_order() {
+        let entries = only_filter(&args(&["--only", "fig10,fig2"])).unwrap();
+        let ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["fig2", "fig10"], "registry order, not list order");
+    }
+
+    fn expect_err(r: Result<Vec<&'static Entry>, String>) -> String {
+        match r {
+            Ok(entries) => panic!("expected an error, got {} entries", entries.len()),
+            Err(msg) => msg,
+        }
+    }
+
+    #[test]
+    fn mixed_unknown_ids_are_all_reported() {
+        let err = expect_err(only_filter(&args(&["--only", "fig99,fig2,bogus"])));
+        assert!(err.contains("unknown experiment id `fig99`"), "{err}");
+        assert!(err.contains("unknown experiment id `bogus`"), "{err}");
+        assert!(!err.contains("`fig2`"), "known id flagged: {err}");
+        assert!(err.contains("known ids: "), "{err}");
+    }
+
+    #[test]
+    fn single_unknown_id_message_is_stable() {
+        let err = expect_err(only_filter(&args(&["--only=fig99"])));
+        assert!(err.starts_with("unknown experiment id `fig99`"), "{err}");
+    }
 }

@@ -1,0 +1,16 @@
+//! Binary regenerating the link-impairment extension: the Fig 10
+//! reaction grid swept over border loss rates, plus end-to-end §3.1
+//! runs on a lossy link. Pass `--paper` for paper-comparable sample
+//! sizes (slower).
+
+use experiments::figures::impair;
+use experiments::Scale;
+
+fn main() {
+    experiments::runner::configure_from_env();
+    let scale = Scale::from_args();
+    let seed = 2020;
+    println!("== Extension: link impairment ==  (scale {scale:?}, seed {seed})\n");
+    let result = impair::run(scale, seed);
+    println!("{result}");
+}

@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod impair;
 pub mod inference;
 pub mod table1;
 pub mod table2;
@@ -138,5 +139,10 @@ pub const REGISTRY: &[Entry] = &[
         id: "battery",
         title: "Extension: probe battery size",
         render: |s, seed| battery::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "impair",
+        title: "Extension: link impairment",
+        render: |s, seed| impair::run(s, seed).to_string(),
     },
 ];

@@ -52,6 +52,12 @@ pub struct SsRunConfig {
     pub nr_min_gap: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Link impairment model. The default no-op keeps the run
+    /// byte-identical to the pre-impairment simulator.
+    pub impairment: netsim::ImpairmentSpec,
+    /// Per-probe connect-failure retry budget for the GFW's prober
+    /// fleet (only meaningful under loss).
+    pub probe_retries: u32,
 }
 
 impl Default for SsRunConfig {
@@ -66,6 +72,8 @@ impl Default for SsRunConfig {
             fleet_pool: 4_000,
             nr_min_gap: Duration::from_mins(18),
             seed: 2020,
+            impairment: netsim::ImpairmentSpec::default(),
+            probe_retries: 0,
         }
     }
 }
@@ -185,9 +193,14 @@ pub struct SsWorld {
 
 /// Build the §3.1 world without driving any traffic yet.
 pub fn build_ss_world(cfg: &SsRunConfig) -> SsWorld {
-    let mut sim = Simulator::new(SimConfig::default(), cfg.seed);
+    let sim_config = SimConfig {
+        impairment: cfg.impairment,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(sim_config, cfg.seed);
     let mut gfw_config = GfwConfig::default();
     gfw_config.fleet.pool_size = cfg.fleet_pool;
+    gfw_config.fleet.probe_retries = cfg.probe_retries;
     gfw_config.blocking.sensitivity = cfg.sensitivity;
     gfw_config.scheduler.nr_min_gap = cfg.nr_min_gap;
     let handle = Gfw::install(&mut sim, gfw_config, cfg.seed ^ 0x6F3);

@@ -1,0 +1,65 @@
+//! Acceptance checks for the link-impairment experiment.
+//!
+//! Spawns the real `exp-impair` binary (process isolation keeps each
+//! run's global jobs override independent) and asserts:
+//!
+//! 1. the lossy sweep is byte-identical at `--jobs 1` and `--jobs 4` —
+//!    impairment draws come from the single simulator RNG, so worker
+//!    count must never leak into the output;
+//! 2. the loss-0 section of the grid sweep reproduces the `exp-fig10`
+//!    grid byte-for-byte — a zero-rate [`netsim::ImpairmentSpec`] is a
+//!    strict no-op.
+
+use std::process::Command;
+
+fn stdout_of(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .env_remove("GFWSIM_JOBS")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn impair_output_is_byte_identical_across_worker_counts() {
+    let sequential = stdout_of(env!("CARGO_BIN_EXE_exp-impair"), &["--jobs", "1"]);
+    let parallel = stdout_of(env!("CARGO_BIN_EXE_exp-impair"), &["--jobs", "4"]);
+    assert!(
+        !sequential.is_empty(),
+        "exp-impair produced no output at --jobs 1"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "exp-impair output differs between --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn loss_zero_section_matches_exp_fig10() {
+    let impair = stdout_of(env!("CARGO_BIN_EXE_exp-impair"), &["--jobs", "2"]);
+    let fig10 = stdout_of(env!("CARGO_BIN_EXE_exp-fig10"), &[]);
+
+    // exp-fig10 prints a banner line, a blank line, then the grid.
+    let fig10_body = fig10
+        .splitn(3, '\n')
+        .nth(2)
+        .expect("exp-fig10 banner + body")
+        .trim_end_matches('\n');
+
+    // The loss-0 grid sits between its header and the 0.1% header.
+    let start_marker = "--- loss 0% ---\n\n";
+    let start = impair.find(start_marker).expect("loss 0% section") + start_marker.len();
+    let end = impair
+        .find("\n--- loss 0.1% ---")
+        .expect("loss 0.1% section");
+    let section = impair[start..end].trim_end_matches('\n');
+
+    assert!(!fig10_body.is_empty(), "empty exp-fig10 body:\n{fig10}");
+    assert_eq!(section, fig10_body, "loss-0 grid diverged from exp-fig10");
+}

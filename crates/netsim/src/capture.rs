@@ -128,6 +128,7 @@ mod tests {
             tsval: Some(0),
             payload: Bytes::copy_from_slice(payload),
             conn: ConnId(conn),
+            retx: false,
         }
     }
 

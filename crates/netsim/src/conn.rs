@@ -3,8 +3,9 @@
 
 use crate::app::AppId;
 use crate::host::TsClock;
-use crate::packet::SocketAddr;
+use crate::packet::{Packet, SocketAddr};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Opaque connection identifier, unique for the lifetime of a simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -62,6 +63,101 @@ pub enum CloseReason {
     Refused,
 }
 
+/// Verdict of the in-order sequencer for one arriving segment.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// The segment is the next expected one: deliver it (then drain the
+    /// buffer).
+    InOrder,
+    /// The segment arrived early and was buffered.
+    Buffered,
+    /// The segment's bytes were already delivered: drop it.
+    Duplicate,
+}
+
+/// Per-direction in-order delivery state, used only when link
+/// impairment is active. Reordered segments are buffered until the gap
+/// fills; segments at an already-delivered offset (duplicates, stale
+/// retransmissions) are dropped. Offsets are relative to the first
+/// expected sequence number so `u32` wraparound in the middle of a
+/// connection is handled by wrapping subtraction.
+#[derive(Debug, Default)]
+pub struct DirSeq {
+    /// Sequence number of the first expected payload byte (ISN + 1).
+    pub base: u32,
+    /// Offset (relative to `base`) of the next expected byte.
+    pub next_ofs: u32,
+    /// Early segments, keyed by relative offset.
+    buffered: BTreeMap<u32, Packet>,
+}
+
+impl DirSeq {
+    /// Start a direction expecting `base` as its first in-order byte.
+    pub fn new(base: u32) -> DirSeq {
+        DirSeq {
+            base,
+            next_ofs: 0,
+            buffered: BTreeMap::new(),
+        }
+    }
+
+    /// Sequencer length of a segment: payload bytes, or one for a FIN.
+    fn seg_len(pkt: &Packet) -> u32 {
+        if pkt.flags.fin {
+            pkt.payload.len() as u32 + 1
+        } else {
+            pkt.payload.len() as u32
+        }
+    }
+
+    /// Classify an arriving segment. `InOrder` means the caller should
+    /// deliver `pkt` now, advance via [`DirSeq::advance`], then drain
+    /// with [`DirSeq::pop_ready`].
+    pub fn accept(&mut self, pkt: Packet) -> SeqVerdict {
+        let ofs = pkt.seq.wrapping_sub(self.base);
+        if ofs < self.next_ofs || Self::seg_len(&pkt) == 0 {
+            return SeqVerdict::Duplicate;
+        }
+        if ofs == self.next_ofs {
+            return SeqVerdict::InOrder;
+        }
+        self.buffered.entry(ofs).or_insert(pkt);
+        SeqVerdict::Buffered
+    }
+
+    /// Record that a segment of `pkt`'s length was delivered.
+    pub fn advance(&mut self, pkt: &Packet) {
+        self.next_ofs = self.next_ofs.wrapping_add(Self::seg_len(pkt));
+    }
+
+    /// Pop the buffered segment that is now in order, if any. Call
+    /// repeatedly (advancing after each delivery) to drain a filled gap.
+    pub fn pop_ready(&mut self) -> Option<Packet> {
+        // Stale buffered entries below the cursor (duplicates of
+        // different segmentation) are discarded on the way.
+        while let Some((&ofs, _)) = self.buffered.iter().next() {
+            if ofs < self.next_ofs {
+                self.buffered.remove(&ofs);
+                continue;
+            }
+            if ofs == self.next_ofs {
+                return self.buffered.remove(&ofs);
+            }
+            break;
+        }
+        None
+    }
+}
+
+/// Both directions of a connection's in-order delivery state.
+#[derive(Debug, Default)]
+pub struct ReorderState {
+    /// Client → server segments, tracked at the server.
+    pub to_server: DirSeq,
+    /// Server → client segments, tracked at the client.
+    pub to_client: DirSeq,
+}
+
 /// Full record of a live connection inside the simulator.
 #[derive(Debug)]
 pub struct Connection {
@@ -93,6 +189,10 @@ pub struct Connection {
     pub client_sent_data: bool,
     /// Close reason, once closed.
     pub close_reason: Option<CloseReason>,
+    /// In-order delivery state; allocated only when the simulator's
+    /// impairment spec is active (the perfect-network fast path keeps
+    /// connections exactly as light as before).
+    pub reorder: Option<Box<ReorderState>>,
 }
 
 impl Connection {
@@ -118,5 +218,74 @@ mod tests {
         assert!(t.ts_clock.is_none());
         assert!(t.ttl.is_none());
         assert!(!t.random_ip_id);
+    }
+
+    fn seg(seq: u32, len: usize, fin: bool) -> Packet {
+        use crate::packet::{Ipv4, TcpFlags};
+        Packet {
+            sent_at: crate::time::SimTime::ZERO,
+            src: (Ipv4::new(1, 1, 1, 1), 1),
+            dst: (Ipv4::new(2, 2, 2, 2), 2),
+            flags: if fin {
+                TcpFlags::FIN_ACK
+            } else {
+                TcpFlags::PSH_ACK
+            },
+            seq,
+            ack: 0,
+            window: 65535,
+            ttl: 64,
+            ip_id: 0,
+            tsval: Some(0),
+            payload: bytes::Bytes::from(vec![7u8; len]),
+            conn: ConnId(1),
+            retx: false,
+        }
+    }
+
+    #[test]
+    fn sequencer_reorders_and_dedups() {
+        let base = u32::MAX - 5; // exercise wraparound mid-stream
+        let mut dir = DirSeq::new(base);
+        // Segment B (offset 10) overtakes segment A (offset 0).
+        let b = seg(base.wrapping_add(10), 10, false);
+        assert_eq!(dir.accept(b), SeqVerdict::Buffered);
+        let a = seg(base, 10, false);
+        assert_eq!(dir.accept(a.clone()), SeqVerdict::InOrder);
+        dir.advance(&a);
+        let drained = dir.pop_ready().expect("gap filled");
+        assert_eq!(drained.seq, base.wrapping_add(10));
+        dir.advance(&drained);
+        assert!(dir.pop_ready().is_none());
+        // A stale retransmission of A is a duplicate.
+        assert_eq!(dir.accept(a), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn sequencer_orders_fin_after_data() {
+        let mut dir = DirSeq::new(100);
+        // FIN (consuming one sequence slot) arrives before the data.
+        let fin = seg(104, 0, true);
+        assert_eq!(dir.accept(fin), SeqVerdict::Buffered);
+        let data = seg(100, 4, false);
+        assert_eq!(dir.accept(data.clone()), SeqVerdict::InOrder);
+        dir.advance(&data);
+        let drained = dir.pop_ready().expect("fin ready");
+        assert!(drained.flags.fin);
+        dir.advance(&drained);
+        // Duplicate FIN is suppressed.
+        assert_eq!(dir.accept(seg(104, 0, true)), SeqVerdict::Duplicate);
+    }
+
+    #[test]
+    fn duplicate_buffered_segment_kept_once() {
+        let mut dir = DirSeq::new(0);
+        assert_eq!(dir.accept(seg(8, 8, false)), SeqVerdict::Buffered);
+        assert_eq!(dir.accept(seg(8, 8, false)), SeqVerdict::Buffered);
+        let first = seg(0, 8, false);
+        dir.advance(&first);
+        let drained = dir.pop_ready().expect("one copy");
+        dir.advance(&drained);
+        assert!(dir.pop_ready().is_none(), "second copy was not stored");
     }
 }

@@ -1,0 +1,180 @@
+//! Deterministic link impairment: loss, duplication, reordering, jitter.
+//!
+//! The paper's measurements crossed a real, lossy transnational path
+//! (probe replays arriving 0.28 s–570 h late, §3.5; blocking itself a
+//! unidirectional drop the authors had to disentangle from ordinary
+//! packet loss, §6). This module models that path: an
+//! [`ImpairmentSpec`] in [`crate::sim::SimConfig`] attaches a
+//! [`LinkImpairment`] to each direction of the border link (and to
+//! intra-region links), all driven by the simulator's single seeded RNG
+//! so impaired runs stay byte-for-byte reproducible at any worker
+//! count.
+//!
+//! The guarantee the property tests pin down: a zero-rate impairment is
+//! a strict no-op — it draws **nothing** from the RNG and schedules no
+//! extra events, so `ImpairmentSpec::default()` produces capture logs
+//! byte-identical to a simulator built before this module existed.
+
+use crate::time::Duration;
+
+/// Impairment parameters for one direction of one link.
+///
+/// All probabilities are per transmission and independent; a value of
+/// zero disables that mechanism without consuming randomness.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkImpairment {
+    /// Probability that a transmitted packet is dropped in flight.
+    pub loss: f64,
+    /// Probability that a delivered packet is duplicated (the copy
+    /// arrives 100 µs after the original).
+    pub duplicate: f64,
+    /// Probability that a delivered packet is held back by
+    /// [`reorder_extra`](Self::reorder_extra), letting later packets
+    /// overtake it.
+    pub reorder: f64,
+    /// Extra one-way delay applied to reordered packets (bounds how far
+    /// a packet can fall behind its successors).
+    pub reorder_extra: Duration,
+    /// Uniform random extra latency in `[0, jitter]` applied to every
+    /// delivery.
+    pub jitter: Duration,
+}
+
+impl LinkImpairment {
+    /// True when this impairment changes nothing: the fast path that
+    /// must draw zero RNG values.
+    pub fn is_noop(&self) -> bool {
+        self.loss <= 0.0
+            && self.duplicate <= 0.0
+            && self.reorder <= 0.0
+            && self.jitter == Duration::ZERO
+    }
+
+    /// Pure packet loss at probability `p`.
+    pub fn lossy(p: f64) -> LinkImpairment {
+        LinkImpairment {
+            loss: p,
+            ..LinkImpairment::default()
+        }
+    }
+
+    /// The loss probability clamped to a legal Bernoulli parameter.
+    pub(crate) fn loss_p(&self) -> f64 {
+        self.loss.clamp(0.0, 1.0)
+    }
+
+    /// The duplication probability clamped to a legal Bernoulli
+    /// parameter.
+    pub(crate) fn duplicate_p(&self) -> f64 {
+        self.duplicate.clamp(0.0, 1.0)
+    }
+
+    /// The reordering probability clamped to a legal Bernoulli
+    /// parameter.
+    pub(crate) fn reorder_p(&self) -> f64 {
+        self.reorder.clamp(0.0, 1.0)
+    }
+}
+
+/// Per-link impairment assignment plus the retransmission policy that
+/// makes loss survivable.
+///
+/// The default is a strict no-op on every link. Retransmission
+/// parameters only matter once some link actually drops packets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ImpairmentSpec {
+    /// China → outside direction of the border link (trigger traffic,
+    /// probe payloads).
+    pub cn_to_intl: LinkImpairment,
+    /// Outside → China direction of the border link (server reactions).
+    pub intl_to_cn: LinkImpairment,
+    /// Links between hosts in the same region (and links involving
+    /// unregistered addresses).
+    pub intra: LinkImpairment,
+    /// Initial per-segment retransmission timeout; doubles per attempt
+    /// (RFC 6298-style exponential backoff).
+    pub rto_initial: Duration,
+    /// Maximum retransmissions per segment before the sender gives up.
+    pub rto_max_retries: u32,
+}
+
+impl Default for ImpairmentSpec {
+    fn default() -> Self {
+        ImpairmentSpec {
+            cn_to_intl: LinkImpairment::default(),
+            intl_to_cn: LinkImpairment::default(),
+            intra: LinkImpairment::default(),
+            rto_initial: Duration::from_secs(1),
+            rto_max_retries: 5,
+        }
+    }
+}
+
+impl ImpairmentSpec {
+    /// True when no link impairs anything — the simulator then never
+    /// allocates reassembly state and never touches the RNG.
+    pub fn is_noop(&self) -> bool {
+        self.cn_to_intl.is_noop() && self.intl_to_cn.is_noop() && self.intra.is_noop()
+    }
+
+    /// The same impairment on both directions of the border link
+    /// (intra-region links stay clean).
+    pub fn symmetric(link: LinkImpairment) -> ImpairmentSpec {
+        ImpairmentSpec {
+            cn_to_intl: link,
+            intl_to_cn: link,
+            ..ImpairmentSpec::default()
+        }
+    }
+
+    /// Symmetric border loss at probability `p`.
+    pub fn lossy(p: f64) -> ImpairmentSpec {
+        ImpairmentSpec::symmetric(LinkImpairment::lossy(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop() {
+        assert!(ImpairmentSpec::default().is_noop());
+        assert!(LinkImpairment::default().is_noop());
+    }
+
+    #[test]
+    fn lossy_is_not_noop() {
+        assert!(!ImpairmentSpec::lossy(0.01).is_noop());
+        assert!(LinkImpairment::lossy(1e-9).loss > 0.0);
+    }
+
+    #[test]
+    fn symmetric_leaves_intra_clean() {
+        let spec = ImpairmentSpec::symmetric(LinkImpairment::lossy(0.5));
+        assert_eq!(spec.cn_to_intl, spec.intl_to_cn);
+        assert!(spec.intra.is_noop());
+    }
+
+    #[test]
+    fn probabilities_clamp() {
+        let l = LinkImpairment {
+            loss: 7.0,
+            duplicate: -2.0,
+            reorder: 0.5,
+            ..LinkImpairment::default()
+        };
+        assert_eq!(l.loss_p(), 1.0);
+        assert_eq!(l.duplicate_p(), 0.0);
+        assert_eq!(l.reorder_p(), 0.5);
+    }
+
+    #[test]
+    fn jitter_alone_defeats_noop() {
+        let l = LinkImpairment {
+            jitter: Duration::from_millis(1),
+            ..LinkImpairment::default()
+        };
+        assert!(!l.is_noop());
+    }
+}

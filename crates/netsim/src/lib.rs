@@ -19,6 +19,11 @@
 //! * **Receiver-window shaping**: server-side window clamping à la
 //!   brdgrd (§7.1), which forces clients to split their first payload
 //!   into small segments.
+//! * **Deterministic link impairment** ([`impair`]): per-direction
+//!   loss, duplication, bounded reordering and latency jitter on the
+//!   border link, backed by a loss-triggered retransmission machine —
+//!   all drawn from the same seeded RNG, and a strict no-op (zero RNG
+//!   draws) at the default zero rates.
 //! * **An "Internet" model** for connections to arbitrary addresses
 //!   (what a Shadowsocks server does when a random probe decrypts to a
 //!   plausible target specification).
@@ -77,6 +82,7 @@ pub mod app;
 pub mod capture;
 pub mod conn;
 pub mod host;
+pub mod impair;
 pub mod internet;
 pub mod packet;
 pub mod sim;
@@ -87,6 +93,7 @@ pub use app::{App, AppEvent, AppId, Ctx};
 pub use capture::Capture;
 pub use conn::{ConnId, TcpTuning};
 pub use host::{HostConfig, Region};
+pub use impair::{ImpairmentSpec, LinkImpairment};
 pub use packet::{Packet, SocketAddr, TcpFlags};
 pub use sim::{SimConfig, Simulator};
 pub use time::{Duration, SimTime};

@@ -163,6 +163,10 @@ pub struct Packet {
     pub payload: Bytes,
     /// Simulator connection this packet belongs to.
     pub conn: ConnId,
+    /// True if this is a retransmission of an earlier segment (set by
+    /// the impairment layer's loss-recovery machine; captures can use
+    /// it to separate original transmissions from retries).
+    pub retx: bool,
 }
 
 impl Packet {

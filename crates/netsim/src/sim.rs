@@ -10,17 +10,27 @@
 //!
 //! ## Simplifications relative to real TCP
 //!
-//! No loss, retransmission, or congestion control: the paper's
-//! observables are flag sequences, header fields and payloads, none of
-//! which depend on those mechanisms. Receive-window shaping (brdgrd)
-//! is modelled as a per-segment size cap on the client's sends while the
-//! shaper is active, with a small inter-segment spacing, rather than a
-//! full sliding window.
+//! The perfect-network default has no loss, retransmission, or
+//! congestion control: the paper's observables are flag sequences,
+//! header fields and payloads, none of which depend on those
+//! mechanisms. With an active [`crate::impair::ImpairmentSpec`] the
+//! simulator adds exactly what loss makes necessary — a loss-triggered
+//! per-segment retransmission machine (RTO with exponential backoff,
+//! capped retries; RSTs and pure ACKs are never retransmitted) and
+//! receiver-side in-order reassembly with duplicate suppression — while
+//! keeping the zero-rate path byte-identical to the perfect network.
+//! Congestion control stays out of scope either way. Receive-window
+//! shaping (brdgrd) is modelled as a per-segment size cap on the
+//! client's sends while the shaper is active, with a small
+//! inter-segment spacing, rather than a full sliding window.
 
 use crate::app::{App, AppEvent, AppId, Command, Ctx};
 use crate::capture::Capture;
-use crate::conn::{CloseReason, ConnId, ConnState, Connection, TcpTuning};
+use crate::conn::{
+    CloseReason, ConnId, ConnState, Connection, DirSeq, ReorderState, SeqVerdict, TcpTuning,
+};
 use crate::host::{Host, HostConfig, Region};
+use crate::impair::{ImpairmentSpec, LinkImpairment};
 use crate::internet::{InternetModel, RemoteOutcome};
 use crate::packet::{Ipv4, Packet, SocketAddr, TcpFlags};
 use crate::tap::{Tap, TapCtx, Verdict};
@@ -44,6 +54,11 @@ pub struct SimConfig {
     pub mss: usize,
     /// Fate of connections to unregistered addresses.
     pub internet: InternetModel,
+    /// Link impairment (loss/duplication/reordering/jitter) plus the
+    /// retransmission policy that recovers from loss. The default is a
+    /// strict no-op that leaves the schedule byte-identical to the
+    /// perfect network.
+    pub impairment: ImpairmentSpec,
 }
 
 impl Default for SimConfig {
@@ -53,6 +68,7 @@ impl Default for SimConfig {
             cross_border_latency: Duration::from_millis(50),
             mss: 1448,
             internet: InternetModel::default(),
+            impairment: ImpairmentSpec::default(),
         }
     }
 }
@@ -67,6 +83,7 @@ enum Event {
     OpenConn { idx: usize },
     SynTimeout { conn: ConnId },
     RemoteRefused { conn: ConnId },
+    Retransmit { pkt: Packet, attempt: u32 },
 }
 
 struct Scheduled {
@@ -110,6 +127,15 @@ pub struct SimStats {
     pub probes_launched: u64,
     /// High-water mark of the event queue.
     pub peak_queue_depth: u64,
+    /// Packets dropped in flight by link impairment (distinct from tap
+    /// drops, which model active blocking).
+    pub packets_lost: u64,
+    /// Segments re-emitted by the loss-recovery machine.
+    pub retransmits: u64,
+    /// Packets held back by the reordering impairment.
+    pub packets_reordered: u64,
+    /// Extra copies injected by the duplication impairment.
+    pub packets_duplicated: u64,
 }
 
 impl SimStats {
@@ -123,6 +149,10 @@ impl SimStats {
         self.packets_tapped += other.packets_tapped;
         self.probes_launched += other.probes_launched;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.packets_lost += other.packets_lost;
+        self.retransmits += other.retransmits;
+        self.packets_reordered += other.packets_reordered;
+        self.packets_duplicated += other.packets_duplicated;
     }
 }
 
@@ -351,6 +381,7 @@ impl Simulator {
             }
             Event::SynTimeout { conn } => self.handle_syn_timeout(conn),
             Event::RemoteRefused { conn } => self.handle_remote_refused(conn),
+            Event::Retransmit { pkt, attempt } => self.handle_retransmit(pkt, attempt),
         }
         true
     }
@@ -452,6 +483,7 @@ impl Simulator {
             tsval,
             payload,
             conn,
+            retx: false,
         };
 
         // Captures see everything at send time.
@@ -461,27 +493,125 @@ impl Simulator {
         self.stats.packets_sent += 1;
 
         // Taps only see border-crossing packets.
-        if self.crosses_border(src.0, dst.0) {
-            self.stats.packets_tapped += 1;
-            let mut tap_ctx = TapCtx::new(self.now);
-            let mut dropped = false;
-            for tap in &mut self.taps {
-                if tap.on_packet(&pkt, &mut tap_ctx) == Verdict::Drop {
-                    dropped = true;
-                    break;
-                }
-            }
-            for (app, at, token) in tap_ctx.take_wakeups() {
-                self.push(at, Event::Timer { app, token });
-            }
-            if dropped {
-                self.stats.packets_dropped += 1;
-                return;
-            }
+        if self.offer_to_taps(&pkt) {
+            return;
         }
 
-        let at = self.now + self.latency(src.0, dst.0) + extra_delay;
-        self.push(at, Event::Deliver(pkt));
+        self.transmit(pkt, extra_delay, 0);
+    }
+
+    /// Offer a border-crossing packet to the taps. Returns true if a
+    /// tap dropped it (the drop is counted and any tap wakeups are
+    /// scheduled either way).
+    fn offer_to_taps(&mut self, pkt: &Packet) -> bool {
+        if !self.crosses_border(pkt.src.0, pkt.dst.0) {
+            return false;
+        }
+        self.stats.packets_tapped += 1;
+        let mut tap_ctx = TapCtx::new(self.now);
+        let mut dropped = false;
+        for tap in &mut self.taps {
+            if tap.on_packet(pkt, &mut tap_ctx) == Verdict::Drop {
+                dropped = true;
+                break;
+            }
+        }
+        for (app, at, token) in tap_ctx.take_wakeups() {
+            self.push(at, Event::Timer { app, token });
+        }
+        if dropped {
+            self.stats.packets_dropped += 1;
+        }
+        dropped
+    }
+
+    /// The impairment applied to packets travelling `a` → `b`, mirroring
+    /// the region logic of [`Simulator::latency`].
+    fn impairment_for(&self, a: Ipv4, b: Ipv4) -> LinkImpairment {
+        match (self.region_of(a), self.region_of(b)) {
+            (Some(Region::China), Some(Region::Outside)) => self.config.impairment.cn_to_intl,
+            (Some(Region::Outside), Some(Region::China)) => self.config.impairment.intl_to_cn,
+            _ => self.config.impairment.intra,
+        }
+    }
+
+    /// Segments the loss-recovery machine will re-emit: SYN, SYN-ACK,
+    /// FIN and data. RSTs are fire-and-forget — real stacks do not
+    /// retransmit them, so a lost RST is observed as a timeout, exactly
+    /// the degradation `exp-impair` measures. Pure ACKs are recovered
+    /// implicitly by later traffic (a lost handshake-completing ACK is
+    /// repaired when the first data segment arrives).
+    fn retransmittable(pkt: &Packet) -> bool {
+        !pkt.flags.rst && (pkt.flags.syn || pkt.flags.fin || pkt.has_payload())
+    }
+
+    /// Put `pkt` on the link, applying that link's impairment.
+    ///
+    /// The zero-rate path draws nothing from the RNG and schedules
+    /// exactly one `Deliver`, keeping unimpaired runs byte-identical to
+    /// the perfect-network simulator. Each probability is guarded by a
+    /// `> 0.0` test before its Bernoulli draw so disabled mechanisms
+    /// consume no randomness even when another mechanism is active.
+    fn transmit(&mut self, pkt: Packet, extra_delay: Duration, attempt: u32) {
+        let base = self.latency(pkt.src.0, pkt.dst.0) + extra_delay;
+        let link = self.impairment_for(pkt.src.0, pkt.dst.0);
+        if link.is_noop() {
+            self.push(self.now + base, Event::Deliver(pkt));
+            return;
+        }
+        let spec = self.config.impairment;
+        if link.loss > 0.0 && self.rng.gen_bool(link.loss_p()) {
+            self.stats.packets_lost += 1;
+            if Self::retransmittable(&pkt) && attempt < spec.rto_max_retries {
+                let at = self.now + spec.rto_initial.backoff(attempt);
+                self.push(
+                    at,
+                    Event::Retransmit {
+                        pkt,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+            return;
+        }
+        let mut delay = base;
+        if link.jitter > Duration::ZERO {
+            delay = delay + Duration::from_nanos(self.rng.gen_range(0..=link.jitter.as_nanos()));
+        }
+        if link.reorder > 0.0 && self.rng.gen_bool(link.reorder_p()) {
+            self.stats.packets_reordered += 1;
+            delay = delay + link.reorder_extra;
+        }
+        if link.duplicate > 0.0 && self.rng.gen_bool(link.duplicate_p()) {
+            self.stats.packets_duplicated += 1;
+            let copy_at = self.now + delay + Duration::from_micros(100);
+            self.push(copy_at, Event::Deliver(pkt.clone()));
+        }
+        self.push(self.now + delay, Event::Deliver(pkt));
+    }
+
+    /// Re-emit a lost segment: restamp its send time, mark it as a
+    /// retransmission, and run it through captures, taps and the link
+    /// again (active blocking applies to retransmissions too). The
+    /// TSval is deliberately left at its first-transmission value — a
+    /// documented simplification.
+    fn handle_retransmit(&mut self, mut pkt: Packet, attempt: u32) {
+        // The connection may have closed (RST, full FIN exchange) while
+        // the retransmission timer was pending; give up silently.
+        if !self.conns.contains_key(&pkt.conn) {
+            return;
+        }
+        pkt.sent_at = self.now;
+        pkt.retx = true;
+        self.stats.retransmits += 1;
+        self.stats.packets_sent += 1;
+        for cap in &mut self.captures {
+            cap.observe(&pkt);
+        }
+        if self.offer_to_taps(&pkt) {
+            return;
+        }
+        self.transmit(pkt, Duration::ZERO, attempt);
     }
 
     fn dispatch(&mut self, app: AppId, ev: AppEvent) {
@@ -686,6 +816,17 @@ impl Simulator {
         let client = (from, src_port);
         let isn: u32 = self.rng.gen();
         let server_isn: u32 = self.rng.gen();
+        // In-order reassembly state, only paid for under impairment.
+        // The simulator is omniscient, so both ISNs are known here and
+        // each direction's sequencer starts at its ISN + 1.
+        let reorder = if self.config.impairment.is_noop() {
+            None
+        } else {
+            Some(Box::new(ReorderState {
+                to_server: DirSeq::new(isn.wrapping_add(1)),
+                to_client: DirSeq::new(server_isn.wrapping_add(1)),
+            }))
+        };
         let c = Connection {
             id: conn,
             client,
@@ -700,6 +841,7 @@ impl Simulator {
             client_bytes_seen: 0,
             client_sent_data: false,
             close_reason: None,
+            reorder,
         };
         self.conns.insert(conn, c);
 
@@ -736,6 +878,50 @@ impl Simulator {
     }
 
     fn handle_deliver(&mut self, pkt: Packet) {
+        let conn = pkt.conn;
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        // Control packets (RST, SYN, SYN-ACK) sit outside the byte
+        // stream and bypass the sequencer; their handlers are
+        // individually idempotent against duplicates. Data and FIN
+        // segments go through per-direction in-order reassembly when
+        // impairment is active.
+        let sequenced = (pkt.flags.fin || pkt.has_payload()) && !pkt.flags.syn && !pkt.flags.rst;
+        if !sequenced || c.reorder.is_none() {
+            self.deliver_ordered(pkt);
+            return;
+        }
+        let to_server = pkt.dst == c.server && pkt.src == c.client;
+        let mut ready = Vec::new();
+        if let Some(r) = c.reorder.as_deref_mut() {
+            let dir = if to_server {
+                &mut r.to_server
+            } else {
+                &mut r.to_client
+            };
+            match dir.accept(pkt.clone()) {
+                SeqVerdict::Duplicate | SeqVerdict::Buffered => return,
+                SeqVerdict::InOrder => {
+                    dir.advance(&pkt);
+                    ready.push(pkt);
+                    while let Some(next) = dir.pop_ready() {
+                        dir.advance(&next);
+                        ready.push(next);
+                    }
+                }
+            }
+        }
+        for p in ready {
+            // Delivery can close and remove the connection (a FIN
+            // completing the exchange); later segments then fall out at
+            // deliver_ordered's connection lookup.
+            self.deliver_ordered(p);
+        }
+    }
+
+    /// Interpret one in-order (or pre-sequencer control) packet.
+    fn deliver_ordered(&mut self, pkt: Packet) {
         let conn = pkt.conn;
         let Some(c) = self.conns.get_mut(&conn) else {
             return;
@@ -886,6 +1072,15 @@ impl Simulator {
         if !self.hosts.contains_key(&pkt.dst.0) {
             // Unregistered destination: fate already decided by the
             // Internet model at connect time; the SYN just disappears.
+            return;
+        }
+        // A duplicated or redundantly-retransmitted SYN must not
+        // re-accept the connection (or re-draw a shaped window).
+        if self
+            .conns
+            .get(&conn)
+            .is_some_and(|c| c.server_app.is_some())
+        {
             return;
         }
         let listener = self.listeners.get(&pkt.dst).copied();

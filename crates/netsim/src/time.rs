@@ -87,6 +87,14 @@ impl Duration {
     pub fn as_nanos(self) -> u64 {
         self.0
     }
+
+    /// Exponential backoff: this duration scaled by `2^attempt`,
+    /// saturating instead of overflowing — the retransmission-timer
+    /// schedule of the impairment layer's TCP machine.
+    pub fn backoff(self, attempt: u32) -> Duration {
+        let factor = 1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX);
+        Duration(self.0.saturating_mul(factor))
+    }
 }
 
 impl std::ops::Mul<u64> for Duration {
@@ -170,6 +178,16 @@ mod tests {
         let four_months = Duration::from_hours(4 * 30 * 24);
         let t = SimTime::ZERO + four_months;
         assert!(t.as_secs_f64() > 10_000_000.0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let rto = Duration::from_secs(1);
+        assert_eq!(rto.backoff(0), Duration::from_secs(1));
+        assert_eq!(rto.backoff(1), Duration::from_secs(2));
+        assert_eq!(rto.backoff(4), Duration::from_secs(16));
+        // Huge attempts saturate instead of overflowing.
+        assert_eq!(rto.backoff(200), Duration(u64::MAX));
     }
 
     #[test]

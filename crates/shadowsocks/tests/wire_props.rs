@@ -1,0 +1,163 @@
+//! Property tests for the Shadowsocks wire codecs (§2 of the paper).
+//!
+//! TCP gives the receiver no say in segment boundaries, so both
+//! constructions must decode identically however the ciphertext is
+//! sliced: feeding a stream or AEAD decryptor arbitrary splits of the
+//! same bytes must reproduce the plaintext exactly. And AEAD must stay
+//! an authenticated channel: any single-bit tamper anywhere past the
+//! salt is rejected, never silently decoded.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shadowsocks::wire::{AeadDecryptor, AeadEncryptor, StreamDecryptor, StreamEncryptor};
+use sscrypto::method::{Kind, Method, ALL_METHODS};
+
+fn key_for(m: Method) -> Vec<u8> {
+    sscrypto::kdf::evp_bytes_to_key(b"prop-password", m.key_len())
+}
+
+/// Pick a method of the given kind from a full-range index.
+fn pick(kind: Kind, idx: usize) -> Method {
+    let of_kind: Vec<Method> = ALL_METHODS
+        .iter()
+        .copied()
+        .filter(|m| m.kind() == kind)
+        .collect();
+    of_kind[idx % of_kind.len()]
+}
+
+/// Split `data` into segments at the given cut fractions.
+fn segments(data: &[u8], cuts: &[f64]) -> Vec<Vec<u8>> {
+    let mut points: Vec<usize> = cuts
+        .iter()
+        .map(|f| ((data.len() as f64) * f) as usize)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut out = Vec::new();
+    let mut prev = 0;
+    for p in points {
+        if p > prev && p < data.len() {
+            out.push(data[prev..p].to_vec());
+            prev = p;
+        }
+    }
+    out.push(data[prev..].to_vec());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stream construction: plaintext round-trips under arbitrary
+    /// encrypt-call and decrypt-segment boundaries, IV split included.
+    #[test]
+    fn stream_roundtrip_any_segmentation(
+        midx in 0usize..8,
+        plain in proptest::collection::vec(any::<u8>(), 1..3000),
+        enc_cuts in proptest::collection::vec(0.0f64..1.0, 0..4),
+        dec_cuts in proptest::collection::vec(0.0f64..1.0, 0..8),
+        iv_seed in any::<u64>(),
+    ) {
+        let m = pick(Kind::Stream, midx);
+        let key = key_for(m);
+        let mut iv = vec![0u8; m.iv_len()];
+        StdRng::seed_from_u64(iv_seed).fill(&mut iv[..]);
+
+        let mut enc = StreamEncryptor::new(m, &key, iv);
+        let mut ct = Vec::new();
+        for part in segments(&plain, &enc_cuts) {
+            ct.extend(enc.encrypt(&part));
+        }
+
+        let mut dec = StreamDecryptor::new(m, &key);
+        let mut got = Vec::new();
+        for seg in segments(&ct, &dec_cuts) {
+            got.extend(dec.decrypt(&seg));
+        }
+        prop_assert!(dec.iv_complete());
+        prop_assert_eq!(&got, &plain, "{}", m.name());
+    }
+
+    /// AEAD construction: chunked plaintext round-trips under arbitrary
+    /// receive-segment boundaries (salt, length and payload frames all
+    /// split at random points).
+    #[test]
+    fn aead_roundtrip_any_segmentation(
+        midx in 0usize..8,
+        plain in proptest::collection::vec(any::<u8>(), 1..3000),
+        enc_cuts in proptest::collection::vec(0.0f64..1.0, 0..4),
+        dec_cuts in proptest::collection::vec(0.0f64..1.0, 0..8),
+        salt_seed in any::<u64>(),
+    ) {
+        let m = pick(Kind::Aead, midx);
+        let key = key_for(m);
+        let mut salt = vec![0u8; m.iv_len()];
+        StdRng::seed_from_u64(salt_seed).fill(&mut salt[..]);
+
+        let mut enc = AeadEncryptor::new(m, &key, salt);
+        let mut ct = Vec::new();
+        for part in segments(&plain, &enc_cuts) {
+            ct.extend(enc.seal(&part));
+        }
+
+        let mut dec = AeadDecryptor::new(m, &key);
+        let mut got = Vec::new();
+        for seg in segments(&ct, &dec_cuts) {
+            let chunks = match dec.decrypt(&seg) {
+                Ok(c) => c,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "{}: spurious auth failure: {e:?}", m.name()
+                ))),
+            };
+            for c in chunks {
+                got.extend(c);
+            }
+        }
+        prop_assert!(dec.salt_complete());
+        prop_assert_eq!(&got, &plain, "{}", m.name());
+    }
+
+    /// AEAD reject-on-tamper: flipping any single bit after the salt
+    /// poisons the session — decryption reports an auth error instead
+    /// of yielding plaintext, however the tampered bytes are segmented.
+    /// (Salt bytes are excluded: the salt is not authenticated itself,
+    /// it keys the subkey, so a salt flip surfaces as a tag failure on
+    /// the first frame — covered by flipping byte `salt_len` onwards
+    /// having the same observable outcome as flipping inside the salt,
+    /// which the unit tests pin separately.)
+    #[test]
+    fn aead_rejects_any_bit_flip(
+        midx in 0usize..8,
+        plain in proptest::collection::vec(any::<u8>(), 1..800),
+        flip_pos in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+        dec_cuts in proptest::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let m = pick(Kind::Aead, midx);
+        let key = key_for(m);
+        let mut enc = AeadEncryptor::new(m, &key, vec![0x42u8; m.iv_len()]);
+        let mut ct = enc.seal(&plain);
+
+        // Flip one bit anywhere in the ciphertext, salt included — a
+        // salt flip derives the wrong subkey, so the first tag check
+        // must still fail.
+        let pos = ((ct.len() as f64) * flip_pos) as usize % ct.len();
+        ct[pos] ^= 1 << flip_bit;
+
+        let mut dec = AeadDecryptor::new(m, &key);
+        let mut failed = false;
+        for seg in segments(&ct, &dec_cuts) {
+            if dec.decrypt(&seg).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        prop_assert!(
+            failed,
+            "{}: bit {} of byte {} flipped undetected",
+            m.name(), flip_bit, pos
+        );
+    }
+}
