@@ -20,6 +20,17 @@ echo "==> cargo build --release --workspace"
 # dependency bins in.
 cargo build --release --workspace
 
+echo "==> bench-report --quick smoke"
+# Quick perf smoke: exercises all three workloads and the JSON writer.
+# The committed full-mode BENCH_substrate.json is not overwritten; the
+# quick run lands in target/ and is checked for shape like the real one.
+./target/release/bench-report --quick --out target/BENCH_quick.json > /dev/null
+./target/release/bench-report --check target/BENCH_quick.json
+
+echo "==> bench-report --check BENCH_substrate.json"
+# The tracked perf trajectory must exist and be well-formed.
+./target/release/bench-report --check BENCH_substrate.json
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 

@@ -5,25 +5,95 @@
 //! Shadowsocks payloads sit near 8 bits/byte (for long packets), while
 //! plaintext protocols sit far lower.
 
+use std::sync::OnceLock;
+
+/// Largest count with a precomputed `c·log2(c)` entry — covers every
+/// first-payload the detector scores (one MSS, 1448 bytes) with room
+/// to spare.
+const XLOGX_TABLE_LEN: usize = 2049;
+
+fn xlogx_table() -> &'static [f64; XLOGX_TABLE_LEN] {
+    static TABLE: OnceLock<[f64; XLOGX_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; XLOGX_TABLE_LEN];
+        for (c, slot) in t.iter_mut().enumerate().skip(2) {
+            *slot = c as f64 * (c as f64).log2();
+        }
+        t
+    })
+}
+
+/// `c·log2(c)` with the table fast path (0 for c ≤ 1).
+#[inline]
+fn xlogx(c: usize) -> f64 {
+    if c < XLOGX_TABLE_LEN {
+        xlogx_table()[c]
+    } else {
+        c as f64 * (c as f64).log2()
+    }
+}
+
 /// Per-byte Shannon entropy of `data`, in bits (0.0–8.0). Empty input
 /// has entropy 0.
+///
+/// Computed in one pass over the histogram as
+/// `H = log2(n) − (1/n)·Σ c·log2(c)`, with the `c·log2(c)` terms read
+/// from a process-wide precomputed table — no per-symbol division or
+/// logarithm, which is what makes first-payload scoring cheap enough
+/// to run on every cross-border data packet.
 pub fn shannon_entropy(data: &[u8]) -> f64 {
-    if data.is_empty() {
+    let n = data.len();
+    if n == 0 {
         return 0.0;
     }
-    let mut counts = [0usize; 256];
-    for &b in data {
-        counts[b as usize] += 1;
+    let mut distinct = 0u32;
+    let mut sum_xlogx = 0.0f64;
+    if n < 1024 {
+        // Short payloads: a single histogram. Zero-initializing four
+        // interleaved sub-histograms (4 KiB) costs more than it saves
+        // below roughly a kilobyte of input.
+        let mut counts = [0u32; 256];
+        for &b in data {
+            counts[b as usize] += 1;
+        }
+        for &c in counts.iter() {
+            if c > 0 {
+                distinct += 1;
+                sum_xlogx += xlogx(c as usize);
+            }
+        }
+    } else {
+        // Long payloads: four interleaved sub-histograms break the
+        // per-byte dependency on a single counter array; the merge is
+        // fused into the xlogx accumulation so the combined counts are
+        // never materialized.
+        let mut sub = [[0u32; 256]; 4];
+        let mut chunks = data.chunks_exact(4);
+        for quad in chunks.by_ref() {
+            sub[0][quad[0] as usize] += 1;
+            sub[1][quad[1] as usize] += 1;
+            sub[2][quad[2] as usize] += 1;
+            sub[3][quad[3] as usize] += 1;
+        }
+        for &b in chunks.remainder() {
+            sub[0][b as usize] += 1;
+        }
+        let [s0, s1, s2, s3] = sub;
+        for (((&c0, &c1), &c2), &c3) in s0.iter().zip(&s1).zip(&s2).zip(&s3) {
+            let c = c0 + c1 + c2 + c3;
+            if c > 0 {
+                distinct += 1;
+                sum_xlogx += xlogx(c as usize);
+            }
+        }
     }
-    let n = data.len() as f64;
-    counts
-        .iter()
-        .filter(|&&c| c > 0)
-        .map(|&c| {
-            let p = c as f64 / n;
-            -p * p.log2()
-        })
-        .sum()
+    // A single-symbol payload is exactly zero; the closed form would
+    // only reproduce that up to rounding.
+    if distinct <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    (n.log2() - sum_xlogx / n).max(0.0)
 }
 
 /// The maximum achievable per-byte entropy for a payload of `len` bytes:

@@ -1,0 +1,314 @@
+//! `bench-report` — the tracked perf trajectory, without criterion.
+//!
+//! Runs the three hot-path workloads (netsim substrate, passive
+//! first-payload scoring, the exp-fig10 grid) with plain wall-clock
+//! timing and writes `BENCH_substrate.json`: the measured numbers next
+//! to the pre-optimization baseline recorded when the substrate rewrite
+//! landed, so every future PR can see the trajectory.
+//!
+//! Modes:
+//!
+//! * default — full measurement (best of several runs), JSON to
+//!   `--out` (default `BENCH_substrate.json`);
+//! * `--quick` — one short run per workload, for CI smoke;
+//! * `--check <path>` — no benchmarks: validate that an existing JSON
+//!   file is well-formed (schema marker plus positive baseline/current
+//!   numbers), exit 1 otherwise.
+
+use netsim::app::{App, AppEvent, Ctx};
+use netsim::conn::TcpTuning;
+use netsim::host::HostConfig;
+use netsim::time::{Duration, SimTime};
+use netsim::{SimConfig, Simulator};
+use std::time::Instant;
+
+/// Numbers recorded before the timer-wheel / arena / LUT rewrite, on
+/// the same workloads as below (BinaryHeap event queue, HashMap
+/// connection and host lookups, per-packet band scan + two-pass
+/// entropy). Measured with this exact harness (same measurement order,
+/// best-of-N) built against the pre-rewrite tree on the same machine;
+/// the acceptance bar for the rewrite is ≥1.5× events/sec and ≥2×
+/// scores/sec against these. The fig10 grid is tracked but has no bar:
+/// it is dominated by the crypto engine, which the rewrite left alone.
+const BASELINE_LABEL: &str =
+    "pre-optimization: BinaryHeap queue, HashMap conn/host lookups, band-scan detector";
+const BASELINE_EVENTS_PER_SEC: f64 = 2_784_000.0;
+const BASELINE_SCORES_PER_SEC: f64 = 941_000.0;
+const BASELINE_FIG10_GRID_MS: f64 = 645.0;
+
+struct Echo;
+impl App for Echo {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        if let AppEvent::Data { conn, data } = ev {
+            ctx.send(conn, data);
+            ctx.fin(conn);
+        }
+    }
+}
+
+struct Client;
+impl App for Client {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Connected { conn } => ctx.send(conn, vec![7u8; 400]),
+            AppEvent::PeerFin { conn } => ctx.fin(conn),
+            _ => {}
+        }
+    }
+}
+
+/// One pass of the substrate workload: `n` cross-border echo
+/// connections through a fresh simulator. Returns events processed.
+fn substrate_once(n: u64) -> u64 {
+    let mut sim = Simulator::new(SimConfig::default(), 42);
+    let server = sim.add_host(HostConfig::outside("s"));
+    let client = sim.add_host(HostConfig::china("c"));
+    let echo = sim.add_app(Box::new(Echo));
+    sim.listen((server, 80), echo);
+    let app = sim.add_app(Box::new(Client));
+    for i in 0..n {
+        sim.connect_at(
+            SimTime::ZERO + Duration::from_millis(i * 10),
+            app,
+            client,
+            (server, 80),
+            TcpTuning::default(),
+        );
+    }
+    sim.run();
+    sim.stats.events
+}
+
+/// Events/sec over the echo-connection workload, best of `runs`.
+fn bench_substrate(conns: u64, runs: usize) -> f64 {
+    substrate_once(conns.min(100)); // warm up allocator + code paths
+    let mut best = 0.0f64;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let events = substrate_once(conns);
+        let rate = events as f64 / t.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+/// First-payload scores/sec: `store_probability` over a pool of
+/// payloads spanning the detector's length bands (and outside them).
+fn bench_scoring(iters: usize, runs: usize) -> f64 {
+    let det = gfw_core::passive::PassiveDetector::default();
+    let lens = [64usize, 169, 306, 402, 687, 850, 1400];
+    let pool: Vec<Vec<u8>> = lens.iter().map(|&l| bench::payload(l, l as u64)).collect();
+    let mut best = 0.0f64;
+    let mut sink = 0.0f64;
+    for _ in 0..runs {
+        let t = Instant::now();
+        for i in 0..iters {
+            sink += det.store_probability(&pool[i % pool.len()]);
+        }
+        let rate = iters as f64 / t.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    assert!(sink >= 0.0);
+    best
+}
+
+/// Wall time of the exp-fig10 reaction grid at quick scale, in ms
+/// (best of `runs`). Runs single-threaded so the number tracks
+/// per-core substrate speed, not the machine's core count.
+fn bench_fig10(runs: usize) -> f64 {
+    experiments::runner::set_jobs(1);
+    let mut best = f64::INFINITY;
+    let mut sink = 0usize;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let fig = experiments::figures::fig10::run(experiments::Scale::Quick, 2020);
+        sink += fig.to_string().len();
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        eprintln!("bench-report:   fig10 run: {ms:.1} ms");
+        best = best.min(ms);
+    }
+    experiments::runner::set_jobs(0);
+    assert!(sink > 0);
+    best
+}
+
+fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"bench\": \"substrate\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"baseline\": {{\n",
+            "    \"label\": \"{label}\",\n",
+            "    \"events_per_sec\": {bev:.0},\n",
+            "    \"first_payload_scores_per_sec\": {bsc:.0},\n",
+            "    \"fig10_grid_ms\": {bfig:.1}\n",
+            "  }},\n",
+            "  \"current\": {{\n",
+            "    \"events_per_sec\": {ev:.0},\n",
+            "    \"first_payload_scores_per_sec\": {sc:.0},\n",
+            "    \"fig10_grid_ms\": {fig:.1}\n",
+            "  }},\n",
+            "  \"speedup\": {{\n",
+            "    \"events_per_sec\": {sev:.2},\n",
+            "    \"first_payload_scores_per_sec\": {ssc:.2},\n",
+            "    \"fig10_grid\": {sfig:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        label = BASELINE_LABEL,
+        bev = BASELINE_EVENTS_PER_SEC,
+        bsc = BASELINE_SCORES_PER_SEC,
+        bfig = BASELINE_FIG10_GRID_MS,
+        ev = ev,
+        sc = sc,
+        fig = fig_ms,
+        sev = ev / BASELINE_EVENTS_PER_SEC,
+        ssc = sc / BASELINE_SCORES_PER_SEC,
+        sfig = BASELINE_FIG10_GRID_MS / fig_ms,
+    )
+}
+
+/// Extract `"key": <number>` from minimal JSON (no nesting awareness
+/// needed: every key we query is unique in the file we emit).
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validate a BENCH_substrate.json: schema marker present, every
+/// metric a positive finite number. Returns a list of problems.
+fn check_file(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if extract_number(text, "schema") != Some(1.0) {
+        problems.push("missing or unsupported \"schema\" (want 1)".to_string());
+    }
+    for key in [
+        "events_per_sec",
+        "first_payload_scores_per_sec",
+        "fig10_grid_ms",
+    ] {
+        let occurrences = text.matches(&format!("\"{key}\":")).count();
+        if occurrences < 2 {
+            problems.push(format!(
+                "\"{key}\" must appear in both baseline and current (found {occurrences})"
+            ));
+            continue;
+        }
+        match extract_number(text, key) {
+            Some(v) if v.is_finite() && v > 0.0 => {}
+            _ => problems.push(format!("\"{key}\" is not a positive number")),
+        }
+    }
+    problems
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out_path = "BENCH_substrate.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            if let Some(p) = it.next() {
+                out_path = p.clone();
+            }
+        } else if a == "--check" {
+            check_path = it.next().cloned();
+            if check_path.is_none() {
+                eprintln!("bench-report: --check needs a path");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-report: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let problems = check_file(&text);
+        if problems.is_empty() {
+            println!("bench-report: {path} OK");
+            return;
+        }
+        for p in &problems {
+            eprintln!("bench-report: {path}: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let (conns, sruns, iters, iruns, fruns) = if quick {
+        (1_000u64, 1usize, 50_000usize, 1usize, 1usize)
+    } else {
+        (5_000, 5, 400_000, 5, 3)
+    };
+
+    // fig10 runs first: it is the most allocation-sensitive workload,
+    // and measuring it against a cold heap keeps the number comparable
+    // across trees regardless of what the other benches leave behind.
+    eprintln!("bench-report: exp-fig10 grid (quick scale x {fruns})...");
+    let fig_ms = bench_fig10(fruns);
+    eprintln!("bench-report: substrate ({conns} conns x {sruns})...");
+    let ev = bench_substrate(conns, sruns);
+    eprintln!("bench-report: first-payload scoring ({iters} x {iruns})...");
+    let sc = bench_scoring(iters, iruns);
+
+    println!(
+        "substrate events/sec:        {ev:>12.0}  ({:.2}x baseline)",
+        ev / BASELINE_EVENTS_PER_SEC
+    );
+    println!(
+        "first-payload scores/sec:    {sc:>12.0}  ({:.2}x baseline)",
+        sc / BASELINE_SCORES_PER_SEC
+    );
+    println!(
+        "exp-fig10 grid wall (ms):    {fig_ms:>12.1}  ({:.2}x baseline)",
+        BASELINE_FIG10_GRID_MS / fig_ms
+    );
+
+    let body = json(quick, ev, sc, fig_ms);
+    if let Err(e) = std::fs::write(&out_path, &body) {
+        eprintln!("bench-report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench-report: wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_json_passes_check() {
+        let body = json(false, 2_000_000.0, 900_000.0, 400.0);
+        assert!(check_file(&body).is_empty(), "{:?}", check_file(&body));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(!check_file("{}").is_empty());
+        let body = json(false, 2_000_000.0, 900_000.0, 400.0);
+        let broken = body.replace("\"events_per_sec\"", "\"events\"");
+        assert!(!check_file(&broken).is_empty());
+    }
+
+    #[test]
+    fn extract_number_reads_first_occurrence() {
+        let t = "{\"a\": 12.5, \"b\": -3}";
+        assert_eq!(extract_number(t, "a"), Some(12.5));
+        assert_eq!(extract_number(t, "b"), Some(-3.0));
+        assert_eq!(extract_number(t, "c"), None);
+    }
+}

@@ -14,7 +14,7 @@
 use crate::blocking::{BlockingConfig, BlockingModule};
 use crate::classifier::{Classifier, Verdict};
 use crate::fleet::{Fleet, FleetConfig};
-use crate::passive::{PassiveConfig, PassiveDetector};
+use crate::passive::{FirstPayloadFeatures, PassiveConfig, PassiveDetector};
 use crate::probe::{ProbeRecord, Reaction};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use netsim::app::{App, AppEvent, AppId, Ctx};
@@ -33,12 +33,15 @@ use std::rc::Rc;
 /// still cares about. Collapsing the former `own_conns` + `seen_data`
 /// `HashSet` pair into a single map halves the hash probes on the
 /// per-packet hot path.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug)]
 enum ConnTrack {
     /// Created by the GFW itself (probe); never self-triggering.
     Own,
-    /// First data packet already inspected; ignore the rest.
-    SeenData,
+    /// First data packet already inspected; later packets skip straight
+    /// past the detector. Carries the features scored from that packet,
+    /// so the entropy histogram is provably computed at most once per
+    /// connection.
+    SeenData(FirstPayloadFeatures),
 }
 
 /// Full GFW configuration.
@@ -138,7 +141,7 @@ impl Tap for GfwTap {
         // "already inspected?"; RST/FIN retires an inspected entry.
         match st.conn_track.get(&pkt.conn) {
             Some(ConnTrack::Own) => return TapVerdict::Pass,
-            Some(ConnTrack::SeenData) => {
+            Some(ConnTrack::SeenData(_)) => {
                 if pkt.flags.rst || pkt.flags.fin {
                     st.conn_track.remove(&pkt.conn);
                 }
@@ -150,17 +153,17 @@ impl Tap for GfwTap {
             return TapVerdict::Pass;
         }
         // 4. First data-carrying packet of a connection: passive stage.
+        // One `features` call scores length and entropy together; the
+        // result is cached in the track entry.
         if pkt.has_payload() {
-            st.conn_track.insert(pkt.conn, ConnTrack::SeenData);
+            let feats = st.passive.features(&pkt.payload);
+            st.conn_track.insert(pkt.conn, ConnTrack::SeenData(feats));
             st.inspected += 1;
             let server = pkt.dst;
-            if st.passive.is_candidate(&pkt.payload) {
-                st.scheduler.on_candidate(server, pkt.payload.len());
+            if feats.candidate {
+                st.scheduler.on_candidate(server, feats.len);
             }
-            let store = {
-                let GfwState { passive, rng, .. } = &mut *st;
-                passive.should_store(&pkt.payload, rng)
-            };
+            let store = feats.store_probability > 0.0 && st.rng.gen_bool(feats.store_probability);
             if store {
                 let GfwState { scheduler, rng, .. } = &mut *st;
                 scheduler.on_stored_payload(ctx.now, server, &pkt.payload, rng);
@@ -231,7 +234,7 @@ impl GfwController {
             );
         }
         // Re-arm for the next order.
-        let next = self.state.borrow().scheduler.next_due();
+        let next = self.state.borrow_mut().scheduler.next_due();
         if let Some(due) = next {
             ctx.set_timer(due.since(ctx.now), TOKEN_ORDERS);
         }
@@ -296,7 +299,7 @@ impl GfwController {
         }
         drop(st);
         // Wake ourselves in case stage-2 unlock queued new orders.
-        let next = self.state.borrow().scheduler.next_due();
+        let next = self.state.borrow_mut().scheduler.next_due();
         if let Some(due) = next {
             ctx.set_timer(due.since(ctx.now), TOKEN_ORDERS);
         }
@@ -366,6 +369,17 @@ impl GfwState {
     /// How many first-data packets the passive stage inspected.
     pub fn inspected_connections(&self) -> u64 {
         self.inspected
+    }
+
+    /// The features the passive stage scored from `conn`'s first data
+    /// packet, while the connection is still tracked (entries retire on
+    /// RST/FIN). This is the cache that guarantees the entropy
+    /// histogram runs at most once per connection.
+    pub fn first_payload_features(&self, conn: ConnId) -> Option<FirstPayloadFeatures> {
+        match self.conn_track.get(&conn) {
+            Some(ConnTrack::SeenData(f)) => Some(*f),
+            _ => None,
+        }
     }
 
     /// Timestamp clock of prober process `i` (for TSval ground truth).

@@ -85,31 +85,88 @@ impl Default for PassiveConfig {
     }
 }
 
+/// Length/entropy features of a first payload, computed in one pass
+/// so callers on the per-packet hot path never score the same bytes
+/// twice (the entropy histogram is the expensive part).
+#[derive(Clone, Copy, Debug)]
+pub struct FirstPayloadFeatures {
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Recognizable plaintext protocol (never stored).
+    pub exempt: bool,
+    /// Inside the replay-eligible length window and not exempt.
+    pub candidate: bool,
+    /// Fig 8 length weight (0.0 outside the window).
+    pub weight: f64,
+    /// Shannon entropy in bits/byte; `None` when scoring short-circuited
+    /// before the entropy pass (exempt or zero-weight payloads).
+    pub entropy: Option<f64>,
+    /// Probability this payload is stored for replay.
+    pub store_probability: f64,
+}
+
 /// The passive detector.
+///
+/// Construction flattens the configured length bands into lookup
+/// tables, so per-payload scoring is two indexed loads instead of a
+/// band scan. The tables are derived from `config` once in
+/// [`PassiveDetector::new`]; treat the config as read-only afterwards.
 #[derive(Clone, Debug)]
 pub struct PassiveDetector {
     /// Active configuration.
     pub config: PassiveConfig,
+    /// `len_weight[len]` = Fig 8 weight; lengths past the table are 0.
+    len_weight: Vec<f64>,
+    /// `in_band[len]` = length is inside some configured band.
+    in_band: Vec<bool>,
+    /// First-byte prefilter for the plaintext exemption: only payloads
+    /// whose first byte can start a recognized protocol take the full
+    /// prefix comparisons. Encrypted traffic falls through on one load.
+    plaintext_first: [bool; 256],
 }
 
 impl PassiveDetector {
     /// Build with the given configuration.
     pub fn new(config: PassiveConfig) -> PassiveDetector {
-        PassiveDetector { config }
+        let table_len = config
+            .bands
+            .iter()
+            .map(|b| b.range.1 + 1)
+            .max()
+            .unwrap_or(0);
+        let mut len_weight = vec![0.0f64; table_len];
+        let mut in_band = vec![false; table_len];
+        for band in &config.bands {
+            for len in band.range.0..=band.range.1 {
+                // First matching band wins, matching the band-scan
+                // semantics this table replaces.
+                if !in_band[len] {
+                    in_band[len] = true;
+                    len_weight[len] = match len % 16 {
+                        9 => band.w_rem9,
+                        2 => band.w_rem2,
+                        _ => band.w_other,
+                    };
+                }
+            }
+        }
+        let mut plaintext_first = [false; 256];
+        // TLS handshake record, HTTP methods, SSH banner (see
+        // `is_exempt_plaintext` for the full prefixes).
+        for b in [0x16u8, b'G', b'P', b'H', b'D', b'O', b'C', b'S'] {
+            plaintext_first[b as usize] = true;
+        }
+        PassiveDetector {
+            config,
+            len_weight,
+            in_band,
+            plaintext_first,
+        }
     }
 
     /// The Fig 8 length weight for a payload length.
     pub fn length_weight(&self, len: usize) -> f64 {
-        for band in &self.config.bands {
-            if (band.range.0..=band.range.1).contains(&len) {
-                return match len % 16 {
-                    9 => band.w_rem9,
-                    2 => band.w_rem2,
-                    _ => band.w_other,
-                };
-            }
-        }
-        0.0
+        self.len_weight.get(len).copied().unwrap_or(0.0)
     }
 
     /// The Fig 9 entropy factor: rises with per-byte entropy; ~4× from
@@ -126,6 +183,10 @@ impl PassiveDetector {
     pub fn is_exempt_plaintext(&self, payload: &[u8]) -> bool {
         if !self.config.exempt_plaintext {
             return false;
+        }
+        match payload.first() {
+            Some(&b) if self.plaintext_first[b as usize] => {}
+            _ => return false,
         }
         // TLS record: handshake (0x16), version 3.x.
         if payload.len() >= 3 && payload[0] == 0x16 && payload[1] == 0x03 && payload[2] <= 0x04 {
@@ -157,24 +218,53 @@ impl PassiveDetector {
         if self.is_exempt_plaintext(payload) {
             return false;
         }
+        self.in_band.get(payload.len()).copied().unwrap_or(false)
+    }
+
+    /// All first-payload features in one pass: the plaintext check and
+    /// length-table loads run once, and the entropy histogram is built
+    /// only when a nonzero length weight makes it matter.
+    pub fn features(&self, payload: &[u8]) -> FirstPayloadFeatures {
         let len = payload.len();
-        self.config
-            .bands
-            .iter()
-            .any(|b| (b.range.0..=b.range.1).contains(&len))
+        let exempt = self.is_exempt_plaintext(payload);
+        if exempt {
+            return FirstPayloadFeatures {
+                len,
+                exempt,
+                candidate: false,
+                weight: 0.0,
+                entropy: None,
+                store_probability: 0.0,
+            };
+        }
+        let candidate = self.in_band.get(len).copied().unwrap_or(false);
+        let weight = self.len_weight.get(len).copied().unwrap_or(0.0);
+        if weight == 0.0 {
+            return FirstPayloadFeatures {
+                len,
+                exempt,
+                candidate,
+                weight,
+                entropy: None,
+                store_probability: 0.0,
+            };
+        }
+        let entropy = shannon_entropy(payload);
+        let store_probability =
+            (self.config.scale * weight * self.entropy_factor(entropy)).clamp(0.0, 1.0);
+        FirstPayloadFeatures {
+            len,
+            exempt,
+            candidate,
+            weight,
+            entropy: Some(entropy),
+            store_probability,
+        }
     }
 
     /// The probability that this first payload is stored for replay.
     pub fn store_probability(&self, payload: &[u8]) -> f64 {
-        if self.is_exempt_plaintext(payload) {
-            return 0.0;
-        }
-        let w = self.length_weight(payload.len());
-        if w == 0.0 {
-            return 0.0;
-        }
-        let e = shannon_entropy(payload);
-        (self.config.scale * w * self.entropy_factor(e)).clamp(0.0, 1.0)
+        self.features(payload).store_probability
     }
 
     /// Bernoulli decision: should this payload be stored?

@@ -18,11 +18,11 @@
 
 use crate::delay::DelayModel;
 use crate::probe::ProbeKind;
+use netsim::eventq::EventQueue;
 use netsim::packet::SocketAddr;
 use netsim::time::{Duration, SimTime};
 use rand::Rng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Debug)]
@@ -79,37 +79,17 @@ struct ServerSched {
     nr1_enabled: bool,
 }
 
-struct HeapEntry {
-    due: SimTime,
-    seq: u64,
-    order: Order,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        (self.due, self.seq) == (other.due, other.seq)
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
-    }
-}
-
 /// The probe scheduler: replay store, stages, pacing, order queue.
+///
+/// The order queue is a [`netsim::eventq::EventQueue`] (timer wheel),
+/// which preserves the old binary heap's exact `(due, insertion)`
+/// ordering.
 pub struct Scheduler {
     /// Tuning.
     pub config: SchedulerConfig,
     delay_model: DelayModel,
     servers: HashMap<SocketAddr, ServerSched>,
-    heap: BinaryHeap<Reverse<HeapEntry>>,
-    seq: u64,
+    queue: EventQueue<Order>,
     next_trigger_id: u64,
 }
 
@@ -120,42 +100,35 @@ impl Scheduler {
             config,
             delay_model: DelayModel,
             servers: HashMap::new(),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             next_trigger_id: 0,
         }
     }
 
     fn push(&mut self, order: Order) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(HeapEntry {
-            due: order.due,
-            seq,
-            order,
-        }));
+        self.queue.push(order.due, order);
     }
 
     /// Earliest pending order's due time.
-    pub fn next_due(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.due)
+    pub fn next_due(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
     }
 
     /// Pop all orders due at or before `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<Order> {
         let mut out = Vec::new();
-        while let Some(Reverse(e)) = self.heap.peek() {
-            if e.due > now {
+        while let Some(due) = self.queue.next_time() {
+            if due > now {
                 break;
             }
-            out.push(self.heap.pop().unwrap().0.order);
+            out.push(self.queue.pop().unwrap().1);
         }
         out
     }
 
     /// Number of orders not yet popped.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// True once the server is in stage 2.

@@ -52,11 +52,15 @@ fn main() {
             "dropped",
             "probes",
             "peak queue",
+            "wall ms",
+            "events/s",
         ]);
         let mut total = netsim::sim::SimStats::default();
+        let mut total_wall = std::time::Duration::ZERO;
         for (e, r) in entries.iter().zip(&runs) {
             let s = &r.stats;
             total.merge(s);
+            total_wall += r.wall;
             t.row(&[
                 e.id.to_string(),
                 s.events.to_string(),
@@ -66,6 +70,8 @@ fn main() {
                 s.packets_dropped.to_string(),
                 s.probes_launched.to_string(),
                 s.peak_queue_depth.to_string(),
+                format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+                format!("{:.0}", events_per_sec(s.events, r.wall)),
             ]);
         }
         t.row(&[
@@ -77,8 +83,24 @@ fn main() {
             total.packets_dropped.to_string(),
             total.probes_launched.to_string(),
             total.peak_queue_depth.to_string(),
+            format!("{:.1}", total_wall.as_secs_f64() * 1e3),
+            format!("{:.0}", events_per_sec(total.events, total_wall)),
         ]);
         println!("== runner stats ==\n{}", t.render());
+        println!(
+            "(wall times are per-job CPU-side measurements; with parallel \
+workers the total exceeds elapsed time)"
+        );
+    }
+}
+
+/// Simulator events per wall-clock second; 0 for degenerate timings.
+fn events_per_sec(events: u64, wall: std::time::Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        events as f64 / secs
+    } else {
+        0.0
     }
 }
 

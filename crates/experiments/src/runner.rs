@@ -116,6 +116,9 @@ pub struct JobRun<R> {
     /// Sum of every [`SimStats`] recorded via [`record_sim_stats`]
     /// during the job.
     pub stats: SimStats,
+    /// Wall-clock time the job spent running (measurement only — never
+    /// feeds back into any simulation, which stays seed-pure).
+    pub wall: std::time::Duration,
 }
 
 /// Credit a finished simulator's counters to the current job. The run
@@ -170,8 +173,13 @@ pub fn run_jobs_detailed_with<J: Job>(specs: Vec<J>, workers: usize) -> Vec<JobR
         return specs
             .into_iter()
             .map(|job| {
+                let started = std::time::Instant::now();
                 let (output, stats) = with_fresh_stats(|| job.run());
-                JobRun { output, stats }
+                JobRun {
+                    output,
+                    stats,
+                    wall: started.elapsed(),
+                }
             })
             .collect();
     }
@@ -190,9 +198,13 @@ pub fn run_jobs_detailed_with<J: Job>(specs: Vec<J>, workers: usize) -> Vec<JobR
                 loop {
                     let next = queue.lock().expect("runner: queue poisoned").pop_front();
                     let Some((idx, job)) = next else { break };
+                    let started = std::time::Instant::now();
                     let (output, stats) = with_fresh_stats(|| job.run());
-                    results.lock().expect("runner: results poisoned")[idx] =
-                        Some(JobRun { output, stats });
+                    results.lock().expect("runner: results poisoned")[idx] = Some(JobRun {
+                        output,
+                        stats,
+                        wall: started.elapsed(),
+                    });
                 }
             });
         }

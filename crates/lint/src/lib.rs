@@ -13,6 +13,7 @@
 //! | `C1` | The protocol constants agree across crates: the stream-IV and AEAD-salt lengths declared by `sscrypto::method::Method::iv_len` match the paper (8/12/16 and 16/24/32), the probe length sweep in `core::probe` covers them, and `shadowsocks::wire` derives its salt length from `Method::iv_len` instead of hardcoding one. |
 //! | `H1` | Member `Cargo.toml`s take every dependency via `workspace = true`; versions live only in the root `[workspace.dependencies]`. |
 //! | `T1` | Thread primitives (`std::thread`, `thread::spawn`/`scope`/`Builder`, `std::sync::mpsc`, `rayon`) appear only in `experiments::runner`; the simulation crates (`core`, `netsim`, `probesim`, `trafficgen`, `defense`, `shadowsocks`, `sscrypto`) and the rest of `experiments` stay single-threaded-deterministic. |
+//! | `T2` | `BinaryHeap` appears only in `netsim::eventq` (the timer wheel's far-future overflow store). Everything time-ordered routes through `netsim::eventq::EventQueue`; non-test code elsewhere in those same crates must not reintroduce a heap-based scheduler. |
 //!
 //! Individual findings can be suppressed with an inline escape —
 //! `// gfwlint: allow(D1)` on the offending line or alone on the line
@@ -40,7 +41,7 @@ use std::path::{Path, PathBuf};
 /// One rule violation.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule ID (`D1`, `D2`, `P1`, `C1`, `H1`, `T1`).
+    /// Rule ID (`D1`, `D2`, `P1`, `C1`, `H1`, `T1`, `T2`).
     pub rule: &'static str,
     /// File path relative to the workspace root.
     pub file: String,
@@ -209,6 +210,7 @@ pub fn run(opts: &Options) -> Result<Report, String> {
     rules::c1_protocol_constants(&ws, &mut report);
     rules::h1_workspace_deps(&ws, &mut report)?;
     rules::t1_thread_isolation(&ws, &mut report);
+    rules::t2_heap_isolation(&ws, &mut report);
     Ok(report)
 }
 

@@ -55,6 +55,16 @@ const T1_TOKENS: &[&str] = &[
 /// The one place threads are allowed: the run engine.
 const T1_RUNNER: &str = "crates/experiments/src/runner.rs";
 
+/// The scheduling structure T2 bans. Both the simulator's event queue
+/// and the GFW scheduler replaced `BinaryHeap<Reverse<..>>` with the
+/// timer wheel; a heap reappearing on a hot path would silently undo
+/// that and reintroduce `O(log n)` comparison churn per event.
+const T2_TOKEN: &str = "BinaryHeap";
+
+/// The one place a heap survives: the timer wheel's far-future
+/// overflow store inside the event queue itself.
+const T2_EVENTQ: &str = "crates/netsim/src/eventq.rs";
+
 /// The paper's IV/salt length table (Fig 10 row groups): every
 /// `sscrypto::method::Method` variant and the byte length its
 /// `iv_len()` arm must declare.
@@ -182,6 +192,54 @@ pub fn t1_thread_isolation(ws: &Workspace, report: &mut Report) {
                         "`{token}` outside `experiments::runner`: simulation code is \
                          single-threaded by contract; declare parallel work as runner \
                          jobs instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// T2: `BinaryHeap` only inside `netsim::eventq`.
+///
+/// The hierarchical timer wheel in `netsim::eventq` is the workspace's
+/// one scheduling structure; everything time-ordered (simulator events,
+/// GFW probe orders) routes through `EventQueue`. Non-test code in the
+/// single-threaded crates and `experiments` must not grow a new heap.
+/// Test code is exempt: the differential property test keeps a
+/// `BinaryHeap` reference on purpose, as the oracle the wheel is
+/// checked against.
+pub fn t2_heap_isolation(ws: &Workspace, report: &mut Report) {
+    let mut prefixes: Vec<String> = SINGLE_THREADED_CRATES
+        .iter()
+        .map(|c| format!("crates/{c}/"))
+        .collect();
+    prefixes.push("crates/experiments/".to_string());
+    for prefix in prefixes {
+        let rels: Vec<String> = ws
+            .sources_under(&prefix)
+            .filter(|f| f.rel != T2_EVENTQ && !f.rel.contains("/tests/"))
+            .map(|f| f.rel.clone())
+            .collect();
+        for rel in rels {
+            let file = &ws.sources[&rel];
+            let mut hits = Vec::new();
+            for (idx, line) in file.lines.iter().enumerate() {
+                if !line.in_test && has_token(&line.code, T2_TOKEN) {
+                    hits.push(idx);
+                }
+            }
+            for idx in hits {
+                if allowed(report, "T2", &ws.sources[&rel], idx) {
+                    continue;
+                }
+                report.findings.push(Finding {
+                    rule: "T2",
+                    file: rel.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{T2_TOKEN}` outside `netsim::eventq`: the timer wheel is the \
+                         workspace's one scheduling structure; queue time-ordered work \
+                         through `netsim::eventq::EventQueue` instead"
                     ),
                 });
             }

@@ -1,0 +1,7 @@
+//! Fixture sim crate with a heap-based scheduler, which T2 forbids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eventq;
+pub mod sched;

@@ -1,0 +1,22 @@
+//! Fixture scheduler built on a heap — T2 forbids this outside eventq.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A comparison-ordered scheduler (forbidden here).
+#[derive(Default)]
+pub struct Sched {
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl Sched {
+    /// Queue an item at a time.
+    pub fn push(&mut self, at: u64, item: u32) {
+        self.heap.push(Reverse((at, item)));
+    }
+}
+
+/// An explicitly waived diagnostic helper.
+pub fn waived_depth() -> usize {
+    std::collections::BinaryHeap::<u32>::new().len() // gfwlint: allow(T2)
+}

@@ -5,7 +5,7 @@ use crate::app::AppId;
 use crate::host::TsClock;
 use crate::packet::{Packet, SocketAddr};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Opaque connection identifier, unique for the lifetime of a simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -167,6 +167,19 @@ pub struct Connection {
     pub client: SocketAddr,
     /// Server endpoint.
     pub server: SocketAddr,
+    /// Dense host-arena index of the client host, resolved once when
+    /// the connection opens so per-packet paths never hash an address.
+    pub client_host: Option<u32>,
+    /// Dense host-arena index of the server host (`None` when the
+    /// destination is unregistered — the Internet model's domain).
+    pub server_host: Option<u32>,
+    /// Client host's region, cached for border/latency decisions.
+    pub client_region: Option<crate::host::Region>,
+    /// Server host's region.
+    pub server_region: Option<crate::host::Region>,
+    /// Whether the server app has been told about this connection
+    /// (`ConnIncoming` fires once, on the handshake ACK or first data).
+    pub server_notified: bool,
     /// App owning the client side.
     pub client_app: AppId,
     /// App owning the server side (set when a listener accepts).
@@ -199,6 +212,124 @@ impl Connection {
     /// True once no further events can occur on this connection.
     pub fn is_closed(&self) -> bool {
         self.state == ConnState::Closed
+    }
+}
+
+/// One slot of the [`ConnArena`] sliding window.
+#[derive(Debug, Default)]
+enum ConnSlot {
+    /// Id allocated (a pending `connect_at` / `Ctx::connect`) but the
+    /// connection has not opened yet. Blocks window advancement — the
+    /// insert is still coming.
+    #[default]
+    Vacant,
+    /// Open connection.
+    Live(Connection),
+    /// Closed and removed; reclaimed when it reaches the window front.
+    Dead,
+}
+
+/// Slab arena for live connections, replacing `HashMap<ConnId,
+/// Connection>` on the simulator's per-packet hot path.
+///
+/// `ConnId`s are allocated densely from a single counter, so `id -
+/// base` indexes a sliding `VecDeque` window directly — lookup is a
+/// bounds check plus an enum tag test, no hashing. The window's front
+/// advances over `Dead` slots only; a `Vacant` front slot belongs to a
+/// connection that was allocated but has not opened yet (its `OpenConn`
+/// event is still queued), so the window holds position until it
+/// resolves. Memory is therefore bounded by the span between the
+/// oldest unresolved id and the newest allocation, which mirrors the
+/// live-connection window of the workloads themselves.
+#[derive(Debug, Default)]
+pub struct ConnArena {
+    slots: VecDeque<ConnSlot>,
+    /// ConnId of `slots[0]`.
+    base: u64,
+    /// Number of `Live` slots.
+    live: usize,
+}
+
+impl ConnArena {
+    /// An empty arena.
+    pub fn new() -> ConnArena {
+        ConnArena::default()
+    }
+
+    /// Number of live (open) connections.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no connection is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn index(&self, id: ConnId) -> Option<usize> {
+        id.0.checked_sub(self.base)
+            .map(|i| i as usize)
+            .filter(|&i| i < self.slots.len())
+    }
+
+    /// The live connection `id`, if any.
+    pub fn get(&self, id: ConnId) -> Option<&Connection> {
+        match self.index(id).map(|i| &self.slots[i]) {
+            Some(ConnSlot::Live(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the live connection `id`.
+    pub fn get_mut(&mut self, id: ConnId) -> Option<&mut Connection> {
+        match self.index(id).map(|i| &mut self.slots[i]) {
+            Some(ConnSlot::Live(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True if `id` is live.
+    pub fn contains(&self, id: ConnId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Insert an opened connection. Its id must come from the
+    /// simulator's dense allocator and must not already be live.
+    pub fn insert(&mut self, c: Connection) {
+        let id = c.id;
+        debug_assert!(id.0 >= self.base, "reusing a reclaimed ConnId");
+        let idx = (id.0 - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, ConnSlot::default);
+        }
+        debug_assert!(
+            matches!(self.slots[idx], ConnSlot::Vacant),
+            "double insert of ConnId {}",
+            id.0
+        );
+        self.slots[idx] = ConnSlot::Live(c);
+        self.live += 1;
+    }
+
+    /// Remove and return the live connection `id`, reclaiming any
+    /// resolved prefix of the window.
+    pub fn remove(&mut self, id: ConnId) -> Option<Connection> {
+        let idx = self.index(id)?;
+        match std::mem::replace(&mut self.slots[idx], ConnSlot::Dead) {
+            ConnSlot::Live(c) => {
+                self.live -= 1;
+                while matches!(self.slots.front(), Some(ConnSlot::Dead)) {
+                    self.slots.pop_front();
+                    self.base += 1;
+                }
+                Some(c)
+            }
+            prev => {
+                // Not live: put the original tag back untouched.
+                self.slots[idx] = prev;
+                None
+            }
+        }
     }
 }
 

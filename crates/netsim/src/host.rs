@@ -188,6 +188,65 @@ impl Host {
     }
 }
 
+/// Dense arena of registered hosts.
+///
+/// Hosts are never removed, so each gets a stable `u32` index at
+/// registration; connections cache the indices of their two endpoints
+/// and per-packet paths resolve hosts with a plain `Vec` index. The
+/// address map remains for the rare address-keyed operations
+/// (registration, listener SYN handling, runtime shaper toggles).
+#[derive(Debug, Default)]
+pub struct HostArena {
+    hosts: Vec<Host>,
+    by_addr: std::collections::HashMap<Ipv4, u32>,
+}
+
+impl HostArena {
+    /// An empty arena.
+    pub fn new() -> HostArena {
+        HostArena::default()
+    }
+
+    /// Register `host`, returning its dense index. Re-registering an
+    /// address replaces the host in place (same index).
+    pub fn insert(&mut self, host: Host) -> u32 {
+        if let Some(&idx) = self.by_addr.get(&host.addr) {
+            self.hosts[idx as usize] = host;
+            return idx;
+        }
+        let idx = self.hosts.len() as u32;
+        self.by_addr.insert(host.addr, idx);
+        self.hosts.push(host);
+        idx
+    }
+
+    /// The dense index of the host at `addr`, if registered.
+    pub fn index_of(&self, addr: Ipv4) -> Option<u32> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// The host at dense index `idx`.
+    pub fn get(&self, idx: u32) -> &Host {
+        &self.hosts[idx as usize]
+    }
+
+    /// Mutable host at dense index `idx`.
+    pub fn get_mut(&mut self, idx: u32) -> &mut Host {
+        &mut self.hosts[idx as usize]
+    }
+
+    /// The host at `addr` (address-keyed slow path).
+    pub fn by_addr(&self, addr: Ipv4) -> Option<&Host> {
+        self.index_of(addr).map(|i| self.get(i))
+    }
+
+    /// Mutable host at `addr` (address-keyed slow path).
+    pub fn by_addr_mut(&mut self, addr: Ipv4) -> Option<&mut Host> {
+        let idx = self.index_of(addr)?;
+        Some(self.get_mut(idx))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

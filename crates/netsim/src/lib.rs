@@ -81,6 +81,7 @@
 pub mod app;
 pub mod capture;
 pub mod conn;
+pub mod eventq;
 pub mod host;
 pub mod impair;
 pub mod internet;

@@ -116,23 +116,24 @@ impl TcpFlags {
 
 impl std::fmt::Display for TcpFlags {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut parts = Vec::new();
-        if self.syn {
-            parts.push("SYN");
+        let set = [
+            (self.syn, "SYN"),
+            (self.rst, "RST"),
+            (self.fin, "FIN"),
+            (self.psh, "PSH"),
+            (self.ack, "ACK"),
+        ];
+        let mut first = true;
+        for (on, name) in set {
+            if on {
+                if !first {
+                    f.write_str("/")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
         }
-        if self.rst {
-            parts.push("RST");
-        }
-        if self.fin {
-            parts.push("FIN");
-        }
-        if self.psh {
-            parts.push("PSH");
-        }
-        if self.ack {
-            parts.push("ACK");
-        }
-        write!(f, "{}", parts.join("/"))
+        Ok(())
     }
 }
 

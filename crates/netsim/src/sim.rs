@@ -27,9 +27,11 @@
 use crate::app::{App, AppEvent, AppId, Command, Ctx};
 use crate::capture::Capture;
 use crate::conn::{
-    CloseReason, ConnId, ConnState, Connection, DirSeq, ReorderState, SeqVerdict, TcpTuning,
+    CloseReason, ConnArena, ConnId, ConnState, Connection, DirSeq, ReorderState, SeqVerdict,
+    TcpTuning,
 };
-use crate::host::{Host, HostConfig, Region};
+use crate::eventq::EventQueue;
+use crate::host::{Host, HostArena, HostConfig, Region};
 use crate::impair::{ImpairmentSpec, LinkImpairment};
 use crate::internet::{InternetModel, RemoteOutcome};
 use crate::packet::{Ipv4, Packet, SocketAddr, TcpFlags};
@@ -39,8 +41,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Global simulator parameters.
@@ -84,29 +85,6 @@ enum Event {
     SynTimeout { conn: ConnId },
     RemoteRefused { conn: ConnId },
     Retransmit { pkt: Packet, attempt: u32 },
-}
-
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Aggregate counters, cheap enough to keep always-on.
@@ -168,18 +146,16 @@ struct PendingConnect {
 pub struct Simulator {
     config: SimConfig,
     now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
-    next_seq: u64,
+    queue: EventQueue<Event>,
     next_conn_id: u64,
     next_host_octet: u32,
-    hosts: HashMap<Ipv4, Host>,
+    hosts: HostArena,
     listeners: HashMap<SocketAddr, AppId>,
-    conns: HashMap<ConnId, Connection>,
+    conns: ConnArena,
     apps: Vec<Option<Box<dyn App>>>,
     taps: Vec<Box<dyn Tap>>,
     captures: Vec<Capture>,
     pending_connects: Vec<Option<PendingConnect>>,
-    server_notified: HashSet<ConnId>,
     rng: StdRng,
     /// Aggregate counters.
     pub stats: SimStats,
@@ -191,18 +167,16 @@ impl Simulator {
         Simulator {
             config,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            next_seq: 0,
+            queue: EventQueue::new(),
             next_conn_id: 0,
             next_host_octet: 0,
-            hosts: HashMap::new(),
+            hosts: HostArena::new(),
             listeners: HashMap::new(),
-            conns: HashMap::new(),
+            conns: ConnArena::new(),
             apps: Vec::new(),
             taps: Vec::new(),
             captures: Vec::new(),
             pending_connects: Vec::new(),
-            server_notified: HashSet::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
         }
@@ -246,12 +220,12 @@ impl Simulator {
     /// whose addresses carry AS semantics).
     pub fn add_host_with_addr(&mut self, addr: Ipv4, config: HostConfig) {
         let host = Host::new(addr, config, &mut self.rng);
-        self.hosts.insert(addr, host);
+        self.hosts.insert(host);
     }
 
     /// True if `addr` is a registered host.
     pub fn has_host(&self, addr: Ipv4) -> bool {
-        self.hosts.contains_key(&addr)
+        self.hosts.index_of(addr).is_some()
     }
 
     /// Enable or disable receive-window shaping on a host at runtime —
@@ -264,7 +238,7 @@ impl Simulator {
     /// Panics if `addr` is not a registered host.
     pub fn set_window_shaper(&mut self, addr: Ipv4, shaper: Option<crate::host::WindowShaper>) {
         self.hosts
-            .get_mut(&addr)
+            .by_addr_mut(addr)
             .expect("set_window_shaper: unknown host")
             .config
             .window_shaper = shaper;
@@ -354,8 +328,8 @@ impl Simulator {
     /// Run while events exist and are scheduled at or before `until`,
     /// then advance the clock to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > until {
+        while let Some(head) = self.queue.next_time() {
+            if head > until {
                 break;
             }
             self.step();
@@ -365,13 +339,13 @@ impl Simulator {
 
     /// Process one event. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(sched)) = self.queue.pop() else {
+        let Some((at, ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(sched.at >= self.now, "time went backwards");
-        self.now = sched.at;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.stats.events += 1;
-        match sched.ev {
+        match ev {
             Event::Deliver(pkt) => self.handle_deliver(pkt),
             Event::Timer { app, token } => self.dispatch(app, AppEvent::Timer { token }),
             Event::OpenConn { idx } => {
@@ -391,28 +365,43 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn push(&mut self, at: SimTime, ev: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+        self.queue.push(at, ev);
         self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(self.queue.len() as u64);
     }
 
     fn region_of(&self, a: Ipv4) -> Option<Region> {
-        self.hosts.get(&a).map(|h| h.config.region)
+        self.hosts.by_addr(a).map(|h| h.config.region)
     }
 
-    fn latency(&self, a: Ipv4, b: Ipv4) -> Duration {
-        match (self.region_of(a), self.region_of(b)) {
-            (Some(x), Some(y)) if x != y => self.config.cross_border_latency,
-            _ => self.config.intra_region_latency,
+    /// Endpoint regions for `pkt`, read from the connection's cached
+    /// host handles when it is still live (the hot path) and falling
+    /// back to address lookups only for packets that outlive their
+    /// connection.
+    fn pkt_regions(&self, pkt: &Packet) -> (Option<Region>, Option<Region>) {
+        match self.conns.get(pkt.conn) {
+            Some(c) if pkt.src == c.client => (c.client_region, c.server_region),
+            Some(c) if pkt.src == c.server => (c.server_region, c.client_region),
+            _ => (self.region_of(pkt.src.0), self.region_of(pkt.dst.0)),
         }
     }
 
-    fn crosses_border(&self, a: Ipv4, b: Ipv4) -> bool {
-        matches!(
-            (self.region_of(a), self.region_of(b)),
-            (Some(x), Some(y)) if x != y
-        )
+    /// Latency and link impairment for `pkt`'s direction of travel.
+    fn pkt_link(&self, pkt: &Packet) -> (Duration, LinkImpairment) {
+        let (ra, rb) = self.pkt_regions(pkt);
+        let latency = match (ra, rb) {
+            (Some(x), Some(y)) if x != y => self.config.cross_border_latency,
+            _ => self.config.intra_region_latency,
+        };
+        let link = match (ra, rb) {
+            (Some(Region::China), Some(Region::Outside)) => self.config.impairment.cn_to_intl,
+            (Some(Region::Outside), Some(Region::China)) => self.config.impairment.intl_to_cn,
+            _ => self.config.impairment.intra,
+        };
+        (latency, link)
+    }
+
+    fn pkt_crosses_border(&self, pkt: &Packet) -> bool {
+        matches!(self.pkt_regions(pkt), (Some(x), Some(y)) if x != y)
     }
 
     /// Build and transmit one packet on `conn`.
@@ -429,19 +418,26 @@ impl Simulator {
         payload: Bytes,
         extra_delay: Duration,
     ) {
-        let (tuning, is_client_side) = match self.conns.get(&conn) {
-            Some(c) => (c.tuning, c.client == src),
-            None => (TcpTuning::default(), false),
+        let (tuning, is_client_side, src_host) = match self.conns.get(conn) {
+            Some(c) => {
+                let is_client = c.client == src;
+                let h = if is_client {
+                    c.client_host
+                } else {
+                    c.server_host
+                };
+                (c.tuning, is_client, h)
+            }
+            None => (TcpTuning::default(), false, self.hosts.index_of(src.0)),
         };
-        let (ttl, ip_id, tsval) = if self.hosts.contains_key(&src.0) {
+        let (ttl, ip_id, tsval) = if let Some(hidx) = src_host {
             let use_random_id = tuning.random_ip_id && is_client_side;
             let ip_id = if use_random_id {
                 self.rng.gen()
             } else {
-                let host = self.hosts.get_mut(&src.0).unwrap();
-                host.next_ip_id(&mut self.rng)
+                self.hosts.get_mut(hidx).next_ip_id(&mut self.rng)
             };
-            let host = &self.hosts[&src.0];
+            let host = self.hosts.get(hidx);
             let ttl = if is_client_side {
                 tuning.ttl.unwrap_or(host.config.initial_ttl)
             } else {
@@ -504,7 +500,7 @@ impl Simulator {
     /// tap dropped it (the drop is counted and any tap wakeups are
     /// scheduled either way).
     fn offer_to_taps(&mut self, pkt: &Packet) -> bool {
-        if !self.crosses_border(pkt.src.0, pkt.dst.0) {
+        if !self.pkt_crosses_border(pkt) {
             return false;
         }
         self.stats.packets_tapped += 1;
@@ -525,16 +521,6 @@ impl Simulator {
         dropped
     }
 
-    /// The impairment applied to packets travelling `a` → `b`, mirroring
-    /// the region logic of [`Simulator::latency`].
-    fn impairment_for(&self, a: Ipv4, b: Ipv4) -> LinkImpairment {
-        match (self.region_of(a), self.region_of(b)) {
-            (Some(Region::China), Some(Region::Outside)) => self.config.impairment.cn_to_intl,
-            (Some(Region::Outside), Some(Region::China)) => self.config.impairment.intl_to_cn,
-            _ => self.config.impairment.intra,
-        }
-    }
-
     /// Segments the loss-recovery machine will re-emit: SYN, SYN-ACK,
     /// FIN and data. RSTs are fire-and-forget — real stacks do not
     /// retransmit them, so a lost RST is observed as a timeout, exactly
@@ -553,8 +539,8 @@ impl Simulator {
     /// `> 0.0` test before its Bernoulli draw so disabled mechanisms
     /// consume no randomness even when another mechanism is active.
     fn transmit(&mut self, pkt: Packet, extra_delay: Duration, attempt: u32) {
-        let base = self.latency(pkt.src.0, pkt.dst.0) + extra_delay;
-        let link = self.impairment_for(pkt.src.0, pkt.dst.0);
+        let (latency, link) = self.pkt_link(&pkt);
+        let base = latency + extra_delay;
         if link.is_noop() {
             self.push(self.now + base, Event::Deliver(pkt));
             return;
@@ -598,7 +584,7 @@ impl Simulator {
     fn handle_retransmit(&mut self, mut pkt: Packet, attempt: u32) {
         // The connection may have closed (RST, full FIN exchange) while
         // the retransmission timer was pending; give up silently.
-        if !self.conns.contains_key(&pkt.conn) {
+        if !self.conns.contains(pkt.conn) {
             return;
         }
         pkt.sent_at = self.now;
@@ -664,7 +650,7 @@ impl Simulator {
     }
 
     fn do_send(&mut self, owner: AppId, conn: ConnId, data: Vec<u8>) {
-        let Some(c) = self.conns.get(&conn) else {
+        let Some(c) = self.conns.get(conn) else {
             return;
         };
         if c.is_closed() || data.is_empty() {
@@ -718,7 +704,7 @@ impl Simulator {
             offset += take;
             i += 1;
         }
-        if let Some(c) = self.conns.get_mut(&conn) {
+        if let Some(c) = self.conns.get_mut(conn) {
             if from_server {
                 c.server_seq = seq;
             } else {
@@ -728,7 +714,7 @@ impl Simulator {
     }
 
     fn do_fin(&mut self, owner: AppId, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
         if c.is_closed() {
@@ -766,7 +752,7 @@ impl Simulator {
     }
 
     fn do_rst(&mut self, owner: AppId, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
         if c.is_closed() {
@@ -805,11 +791,15 @@ impl Simulator {
         conn: ConnId,
     ) {
         self.stats.connections += 1;
+        // Host handles and regions are resolved once here; every
+        // per-packet decision on this connection reads the cached copies.
+        let client_host = self.hosts.index_of(from);
+        let server_host = self.hosts.index_of(to.0);
+        let client_region = client_host.map(|h| self.hosts.get(h).config.region);
+        let server_region = server_host.map(|h| self.hosts.get(h).config.region);
         let src_port = tuning.src_port.unwrap_or_else(|| {
-            let policy = self
-                .hosts
-                .get(&from)
-                .map(|h| h.config.port_policy)
+            let policy = client_host
+                .map(|h| self.hosts.get(h).config.port_policy)
                 .unwrap_or(crate::host::PortPolicy::LinuxEphemeral);
             policy.draw(&mut self.rng)
         });
@@ -831,6 +821,11 @@ impl Simulator {
             id: conn,
             client,
             server: to,
+            client_host,
+            server_host,
+            client_region,
+            server_region,
+            server_notified: false,
             client_app: owner,
             server_app: None,
             state: ConnState::SynSent,
@@ -843,7 +838,7 @@ impl Simulator {
             close_reason: None,
             reorder,
         };
-        self.conns.insert(conn, c);
+        self.conns.insert(c);
 
         self.emit(
             conn,
@@ -857,12 +852,10 @@ impl Simulator {
             Duration::ZERO,
         );
 
-        let syn_timeout = self
-            .hosts
-            .get(&from)
-            .map(|h| h.config.syn_timeout)
+        let syn_timeout = client_host
+            .map(|h| self.hosts.get(h).config.syn_timeout)
             .unwrap_or(Duration::from_secs(20));
-        if self.hosts.contains_key(&to.0) {
+        if server_host.is_some() {
             self.push(self.now + syn_timeout, Event::SynTimeout { conn });
         } else {
             // Unregistered destination: the Internet model decides.
@@ -879,7 +872,7 @@ impl Simulator {
 
     fn handle_deliver(&mut self, pkt: Packet) {
         let conn = pkt.conn;
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
         // Control packets (RST, SYN, SYN-ACK) sit outside the byte
@@ -923,7 +916,7 @@ impl Simulator {
     /// Interpret one in-order (or pre-sequencer control) packet.
     fn deliver_ordered(&mut self, pkt: Packet) {
         let conn = pkt.conn;
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
         let to_server = pkt.dst == c.server && pkt.src == c.client;
@@ -935,8 +928,7 @@ impl Simulator {
                 by_client: !to_server,
             });
             let (client_app, server_app) = (c.client_app, c.server_app);
-            self.conns.remove(&conn);
-            self.server_notified.remove(&conn);
+            self.conns.remove(conn);
             if to_server {
                 if let Some(sa) = server_app {
                     self.dispatch(sa, AppEvent::PeerRst { conn });
@@ -1005,8 +997,7 @@ impl Simulator {
                 Some(c.client_app)
             };
             if fully_closed {
-                self.conns.remove(&conn);
-                self.server_notified.remove(&conn);
+                self.conns.remove(conn);
             }
             if let Some(app) = target {
                 self.dispatch(app, AppEvent::PeerFin { conn });
@@ -1019,19 +1010,15 @@ impl Simulator {
                 c.client_bytes_seen += pkt.payload.len();
                 c.client_sent_data = true;
                 // Relax window shaping once enough client bytes arrived.
-                if let Some(shaper) = self
-                    .hosts
-                    .get(&pkt.dst.0)
-                    .and_then(|h| h.config.window_shaper)
-                {
+                let shaper = c
+                    .server_host
+                    .and_then(|h| self.hosts.get(h).config.window_shaper);
+                if let Some(shaper) = shaper {
                     if c.client_bytes_seen >= shaper.restore_after_bytes {
-                        if let Some(c) = self.conns.get_mut(&conn) {
-                            c.client_send_cap = None;
-                        }
+                        c.client_send_cap = None;
                     }
                 }
             }
-            let c = self.conns.get(&conn).unwrap();
             let target = if to_server {
                 c.server_app
             } else {
@@ -1043,7 +1030,11 @@ impl Simulator {
                 (c.server, c.client)
             };
             if let Some(app) = target {
-                if to_server && self.server_notified.insert(conn) {
+                let first = to_server && !c.server_notified;
+                if first {
+                    c.server_notified = true;
+                }
+                if first {
                     self.dispatch(app, AppEvent::ConnIncoming { conn, peer, local });
                 }
                 self.dispatch(
@@ -1061,7 +1052,8 @@ impl Simulator {
         if pkt.flags.ack && to_server {
             if let Some(app) = c.server_app {
                 let (peer, local) = (c.client, c.server);
-                if self.server_notified.insert(conn) {
+                if !c.server_notified {
+                    c.server_notified = true;
                     self.dispatch(app, AppEvent::ConnIncoming { conn, peer, local });
                 }
             }
@@ -1069,36 +1061,28 @@ impl Simulator {
     }
 
     fn handle_syn(&mut self, conn: ConnId, pkt: Packet) {
-        if !self.hosts.contains_key(&pkt.dst.0) {
+        let Some(dst_host) = self.hosts.index_of(pkt.dst.0) else {
             // Unregistered destination: fate already decided by the
             // Internet model at connect time; the SYN just disappears.
             return;
-        }
+        };
         // A duplicated or redundantly-retransmitted SYN must not
         // re-accept the connection (or re-draw a shaped window).
-        if self
-            .conns
-            .get(&conn)
-            .is_some_and(|c| c.server_app.is_some())
-        {
+        if self.conns.get(conn).is_some_and(|c| c.server_app.is_some()) {
             return;
         }
         let listener = self.listeners.get(&pkt.dst).copied();
         match listener {
             Some(app) => {
                 // Window shaping decided by the server host config.
-                let window = match self
-                    .hosts
-                    .get(&pkt.dst.0)
-                    .and_then(|h| h.config.window_shaper)
-                {
+                let window = match self.hosts.get(dst_host).config.window_shaper {
                     Some(shaper) => {
                         let (lo, hi) = shaper.window_range;
                         self.rng.gen_range(lo..=hi)
                     }
                     None => 65535,
                 };
-                let Some(c) = self.conns.get_mut(&conn) else {
+                let Some(c) = self.conns.get_mut(conn) else {
                     return;
                 };
                 c.server_app = Some(app);
@@ -1122,7 +1106,7 @@ impl Simulator {
             }
             None => {
                 // Connection refused: host exists but nothing listens.
-                let Some(c) = self.conns.get(&conn) else {
+                let Some(c) = self.conns.get(conn) else {
                     return;
                 };
                 let (server, client) = (c.server, c.client);
@@ -1143,15 +1127,14 @@ impl Simulator {
     }
 
     fn handle_syn_timeout(&mut self, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
         if c.state == ConnState::SynSent {
             c.state = ConnState::Closed;
             c.close_reason = Some(CloseReason::SynTimeout);
             let app = c.client_app;
-            self.conns.remove(&conn);
-            self.server_notified.remove(&conn);
+            self.conns.remove(conn);
             self.dispatch(
                 app,
                 AppEvent::ConnectFailed {
@@ -1163,14 +1146,14 @@ impl Simulator {
     }
 
     fn handle_remote_refused(&mut self, conn: ConnId) {
-        let Some(c) = self.conns.get_mut(&conn) else {
+        let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
         if c.state == ConnState::SynSent {
             c.state = ConnState::Closed;
             c.close_reason = Some(CloseReason::Refused);
             let app = c.client_app;
-            self.conns.remove(&conn);
+            self.conns.remove(conn);
             self.dispatch(
                 app,
                 AppEvent::ConnectFailed {
