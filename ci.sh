@@ -31,6 +31,12 @@ echo "==> bench-report --check BENCH_substrate.json"
 # The tracked perf trajectory must exist and be well-formed.
 ./target/release/bench-report --check BENCH_substrate.json
 
+echo "==> crypto fast-path differential properties"
+# Batched ChaCha20/Poly1305, tabled GHASH and the zero-copy codec must
+# stay byte-identical to the scalar/Vec reference paths.
+cargo test -q -p sscrypto --test crypto_props
+cargo test -q -p shadowsocks --test wire_props
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 

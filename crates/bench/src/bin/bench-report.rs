@@ -1,10 +1,11 @@
 //! `bench-report` — the tracked perf trajectory, without criterion.
 //!
-//! Runs the three hot-path workloads (netsim substrate, passive
-//! first-payload scoring, the exp-fig10 grid) with plain wall-clock
-//! timing and writes `BENCH_substrate.json`: the measured numbers next
-//! to the pre-optimization baseline recorded when the substrate rewrite
-//! landed, so every future PR can see the trajectory.
+//! Runs the hot-path workloads (netsim substrate, passive first-payload
+//! scoring, the exp-fig10 grid, and per-method AEAD codec throughput)
+//! with plain wall-clock timing and writes `BENCH_substrate.json`: the
+//! measured numbers next to the pre-optimization baselines recorded
+//! when the substrate and crypto rewrites landed, so every future PR
+//! can see the trajectory.
 //!
 //! Modes:
 //!
@@ -20,6 +21,8 @@ use netsim::conn::TcpTuning;
 use netsim::host::HostConfig;
 use netsim::time::{Duration, SimTime};
 use netsim::{SimConfig, Simulator};
+use shadowsocks::wire::{AeadDecryptor, AeadEncryptor};
+use sscrypto::method::Method;
 use std::time::Instant;
 
 /// Numbers recorded before the timer-wheel / arena / LUT rewrite, on
@@ -35,6 +38,38 @@ const BASELINE_LABEL: &str =
 const BASELINE_EVENTS_PER_SEC: f64 = 2_784_000.0;
 const BASELINE_SCORES_PER_SEC: f64 = 941_000.0;
 const BASELINE_FIG10_GRID_MS: f64 = 645.0;
+
+/// Crypto-engine numbers recorded before the batched-ChaCha20 /
+/// tabled-GHASH / zero-copy codec rewrite: one-block-at-a-time ChaCha20,
+/// single-block scalar Poly1305, byte-wise AES rounds, bit-by-bit
+/// `gf_mul` GHASH, and a wire codec that built three `Vec`s per AEAD
+/// chunk. Measured with this exact harness (same payload sizes, same
+/// best-of-N) built against the pre-rewrite tree on the same machine;
+/// the acceptance bar for the rewrite is ≥2× aes-256-gcm seal MB/s and
+/// a lower fig10 wall time.
+const CRYPTO_BASELINE_LABEL: &str =
+    "pre-crypto-rewrite: one-block ChaCha20, byte-wise AES, bit-by-bit GHASH, Vec-per-chunk codec";
+/// `(json key, seal MB/s, open MB/s)` per AEAD method, in
+/// [`AEAD_METHODS`] order.
+const CRYPTO_BASELINE_MB_S: &[(&str, f64, f64)] = &[
+    ("aes_128_gcm", 39.6, 40.0),
+    ("aes_192_gcm", 37.1, 35.0),
+    ("aes_256_gcm", 34.4, 33.9),
+    ("chacha20_ietf_poly1305", 335.4, 308.5),
+    ("xchacha20_ietf_poly1305", 331.7, 386.2),
+];
+const CRYPTO_BASELINE_FIG10_MS: f64 = 632.7;
+
+/// The AEAD methods tracked by the crypto section, with their JSON key
+/// stems (dashes are awkward in JSON keys). Order must match
+/// [`CRYPTO_BASELINE_MB_S`].
+const AEAD_METHODS: &[(Method, &str)] = &[
+    (Method::Aes128Gcm, "aes_128_gcm"),
+    (Method::Aes192Gcm, "aes_192_gcm"),
+    (Method::Aes256Gcm, "aes_256_gcm"),
+    (Method::ChaCha20IetfPoly1305, "chacha20_ietf_poly1305"),
+    (Method::XChaCha20IetfPoly1305, "xchacha20_ietf_poly1305"),
+];
 
 struct Echo;
 impl App for Echo {
@@ -132,7 +167,95 @@ fn bench_fig10(runs: usize) -> f64 {
     best
 }
 
-fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64) -> String {
+/// Seal throughput through the full wire codec (framing + AEAD), in
+/// MB/s of plaintext, best of `runs`. One session per run so the
+/// HKDF/key-schedule setup is amortized the way real connections
+/// amortize it.
+fn bench_seal(method: Method, total_bytes: usize, runs: usize) -> f64 {
+    let key = sscrypto::kdf::evp_bytes_to_key(b"bench-password", method.key_len());
+    let plain = bench::payload(shadowsocks::wire::MAX_CHUNK, 0xC0FFEE);
+    let iters = (total_bytes / plain.len()).max(1);
+    let mut best = 0.0f64;
+    for _ in 0..runs {
+        let mut enc = AeadEncryptor::new(method, &key, vec![0x42u8; method.iv_len()]);
+        let mut sink = 0usize;
+        let t = Instant::now();
+        for _ in 0..iters {
+            sink += enc.seal(&plain).len();
+        }
+        let rate = (iters * plain.len()) as f64 / t.elapsed().as_secs_f64() / 1e6;
+        assert!(sink > iters * plain.len());
+        best = best.max(rate);
+    }
+    best
+}
+
+/// Open throughput through the full wire codec, in MB/s of recovered
+/// plaintext, best of `runs`. The ciphertext is sealed once up front
+/// and replayed to a fresh decryptor per run in 64 KiB slices.
+fn bench_open(method: Method, total_bytes: usize, runs: usize) -> f64 {
+    let key = sscrypto::kdf::evp_bytes_to_key(b"bench-password", method.key_len());
+    let plain = bench::payload(shadowsocks::wire::MAX_CHUNK, 0xC0FFEE);
+    let iters = (total_bytes / plain.len()).max(1);
+    let mut enc = AeadEncryptor::new(method, &key, vec![0x42u8; method.iv_len()]);
+    let mut ct = Vec::new();
+    for _ in 0..iters {
+        ct.extend_from_slice(&enc.seal(&plain));
+    }
+    let mut best = 0.0f64;
+    for _ in 0..runs {
+        let mut dec = AeadDecryptor::new(method, &key);
+        let mut sink = 0usize;
+        let t = Instant::now();
+        for piece in ct.chunks(64 * 1024) {
+            for chunk in dec.decrypt(piece).expect("bench ciphertext is authentic") {
+                sink += chunk.len();
+            }
+        }
+        let rate = sink as f64 / t.elapsed().as_secs_f64() / 1e6;
+        assert_eq!(sink, iters * plain.len());
+        best = best.max(rate);
+    }
+    best
+}
+
+/// The crypto section of the report: baseline consts next to the
+/// measured per-method numbers plus the fig10 wall time (the end-to-end
+/// workload that motivated the crypto rewrite).
+fn crypto_json(current: &[(&str, f64, f64)], fig_ms: f64) -> String {
+    let mut s = String::new();
+    s.push_str("  \"crypto\": {\n");
+    s.push_str("    \"baseline\": {\n");
+    s.push_str(&format!("      \"label\": \"{CRYPTO_BASELINE_LABEL}\",\n"));
+    for &(k, seal, open) in CRYPTO_BASELINE_MB_S {
+        s.push_str(&format!("      \"{k}_seal_mb_s\": {seal:.1},\n"));
+        s.push_str(&format!("      \"{k}_open_mb_s\": {open:.1},\n"));
+    }
+    s.push_str(&format!(
+        "      \"fig10_grid_ms\": {CRYPTO_BASELINE_FIG10_MS:.1}\n"
+    ));
+    s.push_str("    },\n");
+    s.push_str("    \"current\": {\n");
+    for &(k, seal, open) in current {
+        s.push_str(&format!("      \"{k}_seal_mb_s\": {seal:.1},\n"));
+        s.push_str(&format!("      \"{k}_open_mb_s\": {open:.1},\n"));
+    }
+    s.push_str(&format!("      \"fig10_grid_ms\": {fig_ms:.1}\n"));
+    s.push_str("    },\n");
+    s.push_str("    \"speedup\": {\n");
+    for (&(k, bseal, _), &(_, seal, _)) in CRYPTO_BASELINE_MB_S.iter().zip(current) {
+        s.push_str(&format!("      \"{k}_seal\": {:.2},\n", seal / bseal));
+    }
+    s.push_str(&format!(
+        "      \"fig10_grid\": {:.2}\n",
+        CRYPTO_BASELINE_FIG10_MS / fig_ms
+    ));
+    s.push_str("    }\n");
+    s.push_str("  }\n");
+    s
+}
+
+fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64, crypto: &[(&str, f64, f64)]) -> String {
     format!(
         concat!(
             "{{\n",
@@ -154,7 +277,8 @@ fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64) -> String {
             "    \"events_per_sec\": {sev:.2},\n",
             "    \"first_payload_scores_per_sec\": {ssc:.2},\n",
             "    \"fig10_grid\": {sfig:.2}\n",
-            "  }}\n",
+            "  }},\n",
+            "{crypto}",
             "}}\n"
         ),
         mode = if quick { "quick" } else { "full" },
@@ -168,6 +292,7 @@ fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64) -> String {
         sev = ev / BASELINE_EVENTS_PER_SEC,
         ssc = sc / BASELINE_SCORES_PER_SEC,
         sfig = BASELINE_FIG10_GRID_MS / fig_ms,
+        crypto = crypto_json(crypto, fig_ms),
     )
 }
 
@@ -190,11 +315,16 @@ fn check_file(text: &str) -> Vec<String> {
     if extract_number(text, "schema") != Some(1.0) {
         problems.push("missing or unsupported \"schema\" (want 1)".to_string());
     }
-    for key in [
-        "events_per_sec",
-        "first_payload_scores_per_sec",
-        "fig10_grid_ms",
-    ] {
+    let mut keys = vec![
+        "events_per_sec".to_string(),
+        "first_payload_scores_per_sec".to_string(),
+        "fig10_grid_ms".to_string(),
+    ];
+    for &(k, _, _) in CRYPTO_BASELINE_MB_S {
+        keys.push(format!("{k}_seal_mb_s"));
+        keys.push(format!("{k}_open_mb_s"));
+    }
+    for key in &keys {
         let occurrences = text.matches(&format!("\"{key}\":")).count();
         if occurrences < 2 {
             problems.push(format!(
@@ -249,10 +379,18 @@ fn main() {
         std::process::exit(1);
     }
 
-    let (conns, sruns, iters, iruns, fruns) = if quick {
-        (1_000u64, 1usize, 50_000usize, 1usize, 1usize)
+    let (conns, sruns, iters, iruns, fruns, cbytes, cruns) = if quick {
+        (
+            1_000u64,
+            1usize,
+            50_000usize,
+            1usize,
+            1usize,
+            1 << 21,
+            1usize,
+        )
     } else {
-        (5_000, 5, 400_000, 5, 3)
+        (5_000, 5, 400_000, 5, 3, 8 << 20, 3)
     };
 
     // fig10 runs first: it is the most allocation-sensitive workload,
@@ -264,6 +402,22 @@ fn main() {
     let ev = bench_substrate(conns, sruns);
     eprintln!("bench-report: first-payload scoring ({iters} x {iruns})...");
     let sc = bench_scoring(iters, iruns);
+    eprintln!(
+        "bench-report: aead codec throughput ({} MiB x {cruns} per method)...",
+        cbytes >> 20
+    );
+    let crypto: Vec<(&str, f64, f64)> = AEAD_METHODS
+        .iter()
+        .map(|&(m, key)| {
+            let seal = bench_seal(m, cbytes, cruns);
+            let open = bench_open(m, cbytes, cruns);
+            eprintln!(
+                "bench-report:   {}: seal {seal:.1} MB/s, open {open:.1} MB/s",
+                m.name()
+            );
+            (key, seal, open)
+        })
+        .collect();
 
     println!(
         "substrate events/sec:        {ev:>12.0}  ({:.2}x baseline)",
@@ -277,8 +431,15 @@ fn main() {
         "exp-fig10 grid wall (ms):    {fig_ms:>12.1}  ({:.2}x baseline)",
         BASELINE_FIG10_GRID_MS / fig_ms
     );
+    for (&(name, seal, open), &(_, bseal, bopen)) in crypto.iter().zip(CRYPTO_BASELINE_MB_S) {
+        println!(
+            "{name:<28} seal {seal:>8.1} MB/s ({:.2}x)   open {open:>8.1} MB/s ({:.2}x)",
+            seal / bseal,
+            open / bopen
+        );
+    }
 
-    let body = json(quick, ev, sc, fig_ms);
+    let body = json(quick, ev, sc, fig_ms, &crypto);
     if let Err(e) = std::fs::write(&out_path, &body) {
         eprintln!("bench-report: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -290,18 +451,53 @@ fn main() {
 mod tests {
     use super::*;
 
+    fn fake_crypto() -> Vec<(&'static str, f64, f64)> {
+        CRYPTO_BASELINE_MB_S
+            .iter()
+            .map(|&(k, s, o)| (k, s * 2.0, o * 2.0))
+            .collect()
+    }
+
     #[test]
     fn emitted_json_passes_check() {
-        let body = json(false, 2_000_000.0, 900_000.0, 400.0);
+        let body = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
         assert!(check_file(&body).is_empty(), "{:?}", check_file(&body));
     }
 
     #[test]
     fn malformed_json_is_rejected() {
         assert!(!check_file("{}").is_empty());
-        let body = json(false, 2_000_000.0, 900_000.0, 400.0);
+        let body = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
         let broken = body.replace("\"events_per_sec\"", "\"events\"");
         assert!(!check_file(&broken).is_empty());
+    }
+
+    #[test]
+    fn missing_crypto_section_is_rejected() {
+        let body = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
+        let broken = body.replace("_seal_mb_s", "_seal");
+        let problems = check_file(&broken);
+        assert!(
+            problems.iter().any(|p| p.contains("aes_256_gcm_seal_mb_s")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn crypto_section_carries_every_method_twice() {
+        let body = crypto_json(&fake_crypto(), 150.0);
+        for &(_, k) in AEAD_METHODS {
+            assert_eq!(
+                body.matches(&format!("\"{k}_seal_mb_s\":")).count(),
+                2,
+                "{k} seal"
+            );
+            assert_eq!(
+                body.matches(&format!("\"{k}_open_mb_s\":")).count(),
+                2,
+                "{k} open"
+            );
+        }
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! The checked-in panic-budget baseline (`lint-baseline.toml`).
+//! The checked-in budget baseline (`lint-baseline.toml`).
 //!
-//! The file is a single `[panic-budget]` table mapping crate directory
+//! The file holds two tables. `[panic-budget]` maps crate directory
 //! names to the number of explicit panic sites (`unwrap()` / `expect(` /
-//! `panic!` / `unreachable!`) allowed in that crate's non-test code.
-//! Rule P1 fails when a crate exceeds its budget; `--bless` regenerates
-//! the file and only ever ratchets the numbers *down* — raising a
-//! budget is a deliberate act done by editing the file by hand.
+//! `panic!` / `unreachable!`) allowed in that crate's non-test code
+//! (rule P1). `[alloc-budget]` maps crypto hot-path areas to the number
+//! of heap-allocation sites (`.to_vec()` / `Vec::new()` / `.clone()`)
+//! allowed there (rule A1). Both rules fail when an area exceeds its
+//! budget; `--bless` regenerates the file and only ever ratchets the
+//! numbers *down* — raising a budget is a deliberate act done by
+//! editing the file by hand.
 //!
-//! The parser is a deliberately tiny TOML subset (one table, `key =
+//! The parser is a deliberately tiny TOML subset (named tables, `key =
 //! integer` entries, `#` comments) so the linter stays dependency-free.
 
 use std::collections::BTreeMap;
@@ -16,11 +19,13 @@ use std::path::Path;
 /// File name of the baseline, relative to the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.toml";
 
-/// Parsed baseline: crate directory name → allowed panic-site count.
+/// Parsed baseline: budget tables keyed by crate/area name.
 #[derive(Debug, Default, Clone)]
 pub struct Baseline {
-    /// Budgets per crate directory name.
+    /// P1 budgets per crate directory name.
     pub budgets: BTreeMap<String, usize>,
+    /// A1 budgets per hot-path area name.
+    pub alloc_budgets: BTreeMap<String, usize>,
 }
 
 impl Baseline {
@@ -38,23 +43,33 @@ impl Baseline {
 
     /// Parse baseline text.
     pub fn parse(text: &str) -> Result<Baseline, String> {
-        let mut budgets = BTreeMap::new();
-        let mut in_table = false;
+        #[derive(PartialEq)]
+        enum Table {
+            None,
+            Panic,
+            Alloc,
+        }
+        let mut out = Baseline::default();
+        let mut table = Table::None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             if line.starts_with('[') {
-                in_table = line == "[panic-budget]";
+                table = match line {
+                    "[panic-budget]" => Table::Panic,
+                    "[alloc-budget]" => Table::Alloc,
+                    _ => Table::None,
+                };
                 continue;
             }
-            if !in_table {
+            if table == Table::None {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!(
-                    "{BASELINE_FILE}:{}: expected `crate = count`",
+                    "{BASELINE_FILE}:{}: expected `name = count`",
                     lineno + 1
                 ));
             };
@@ -65,9 +80,14 @@ impl Baseline {
                     value.trim()
                 )
             })?;
-            budgets.insert(key.trim().to_string(), count);
+            let dest = match table {
+                Table::Panic => &mut out.budgets,
+                Table::Alloc => &mut out.alloc_budgets,
+                Table::None => unreachable!(),
+            };
+            dest.insert(key.trim().to_string(), count);
         }
-        Ok(Baseline { budgets })
+        Ok(out)
     }
 
     /// Serialize to the canonical file format.
@@ -81,6 +101,17 @@ impl Baseline {
         );
         for (name, count) in &self.budgets {
             out.push_str(&format!("{name} = {count}\n"));
+        }
+        if !self.alloc_budgets.is_empty() {
+            out.push_str(
+                "\n# Heap-allocation budget per crypto hot-path area (rule A1).\n\
+                 # Counts cover `.to_vec()` / `Vec::new()` / `.clone()` in non-test\n\
+                 # code. Same ratchet: blessing only goes down.\n\
+                 \n[alloc-budget]\n",
+            );
+            for (name, count) in &self.alloc_budgets {
+                out.push_str(&format!("{name} = {count}\n"));
+            }
         }
         out
     }
@@ -106,14 +137,30 @@ mod tests {
     }
 
     #[test]
+    fn parse_roundtrip_with_alloc_table() {
+        let b = Baseline::parse(
+            "[panic-budget]\ncore = 3\n\n[alloc-budget]\nsscrypto = 7\nshadowsocks-wire = 2\n",
+        )
+        .unwrap();
+        assert_eq!(b.budgets.get("core"), Some(&3));
+        assert_eq!(b.alloc_budgets.get("sscrypto"), Some(&7));
+        assert_eq!(b.alloc_budgets.get("shadowsocks-wire"), Some(&2));
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(again.budgets, b.budgets);
+        assert_eq!(again.alloc_budgets, b.alloc_budgets);
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(Baseline::parse("[panic-budget]\ncore three\n").is_err());
         assert!(Baseline::parse("[panic-budget]\ncore = many\n").is_err());
+        assert!(Baseline::parse("[alloc-budget]\nsscrypto = lots\n").is_err());
     }
 
     #[test]
     fn other_tables_ignored() {
         let b = Baseline::parse("[other]\nx = 9\n[panic-budget]\ncore = 1\n").unwrap();
         assert_eq!(b.budgets.len(), 1);
+        assert!(b.alloc_budgets.is_empty());
     }
 }

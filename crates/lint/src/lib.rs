@@ -10,6 +10,7 @@
 //! | `D1` | No wall-clock or OS-entropy calls (`SystemTime::now`, `Instant::now`, `thread_rng`, `from_entropy`) in the simulation crates (`core`, `netsim`, `probesim`, `trafficgen`, `defense`). Simulations must be a pure function of their seed. |
 //! | `D2` | Every crate root carries `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`. |
 //! | `P1` | Explicit panic sites (`unwrap()` / `expect(` / `panic!` / `unreachable!`) in the non-test code of `core`, `netsim` and `sscrypto` stay within the checked-in budget (`lint-baseline.toml`), which only ratchets downward. |
+//! | `A1` | Heap-allocation sites (`.to_vec()` / `Vec::new()` / `.clone()`) in the non-test code of the crypto hot path (`sscrypto` and `shadowsocks::wire`) stay within the checked-in `[alloc-budget]` (`lint-baseline.toml`), which only ratchets downward — per-chunk allocations must not creep back into the codec. |
 //! | `C1` | The protocol constants agree across crates: the stream-IV and AEAD-salt lengths declared by `sscrypto::method::Method::iv_len` match the paper (8/12/16 and 16/24/32), the probe length sweep in `core::probe` covers them, and `shadowsocks::wire` derives its salt length from `Method::iv_len` instead of hardcoding one. |
 //! | `H1` | Member `Cargo.toml`s take every dependency via `workspace = true`; versions live only in the root `[workspace.dependencies]`. |
 //! | `T1` | Thread primitives (`std::thread`, `thread::spawn`/`scope`/`Builder`, `std::sync::mpsc`, `rayon`) appear only in `experiments::runner`; the simulation crates (`core`, `netsim`, `probesim`, `trafficgen`, `defense`, `shadowsocks`, `sscrypto`) and the rest of `experiments` stay single-threaded-deterministic. |
@@ -83,6 +84,8 @@ pub struct Report {
     pub files_scanned: usize,
     /// Current P1 panic-site counts per budgeted crate.
     pub panic_counts: BTreeMap<String, usize>,
+    /// Current A1 heap-allocation counts per budgeted hot-path area.
+    pub alloc_counts: BTreeMap<String, usize>,
 }
 
 impl Report {
@@ -207,6 +210,7 @@ pub fn run(opts: &Options) -> Result<Report, String> {
     rules::d1_determinism(&ws, &mut report);
     rules::d2_crate_attrs(&ws, &mut report);
     rules::p1_panic_budget(&ws, &mut report)?;
+    rules::a1_alloc_budget(&ws, &mut report)?;
     rules::c1_protocol_constants(&ws, &mut report);
     rules::h1_workspace_deps(&ws, &mut report)?;
     rules::t1_thread_isolation(&ws, &mut report);
@@ -214,14 +218,16 @@ pub fn run(opts: &Options) -> Result<Report, String> {
     Ok(report)
 }
 
-/// Regenerate the P1 baseline from current counts. Budgets only ratchet
-/// downward: if any crate's current count exceeds its existing budget,
-/// this fails and tells the caller to fix the regressions instead.
+/// Regenerate the P1 and A1 baselines from current counts. Budgets only
+/// ratchet downward: if any crate's or area's current count exceeds its
+/// existing budget, this fails and tells the caller to fix the
+/// regressions instead.
 ///
 /// Returns a human-readable summary of what was written.
 pub fn bless(root: &Path) -> Result<String, String> {
     let ws = Workspace::load(root)?;
     let counts = rules::panic_counts(&ws);
+    let allocs = rules::alloc_counts(&ws);
     if let Some(old) = baseline::Baseline::load(&ws.root)? {
         let mut raised = Vec::new();
         for (name, &count) in &counts {
@@ -231,10 +237,17 @@ pub fn bless(root: &Path) -> Result<String, String> {
                 }
             }
         }
+        for (name, &count) in &allocs {
+            if let Some(&budget) = old.alloc_budgets.get(name) {
+                if count > budget {
+                    raised.push(format!("alloc {name}: {count} > {budget}"));
+                }
+            }
+        }
         if !raised.is_empty() {
             return Err(format!(
-                "refusing to bless: panic budgets only ratchet downward ({}); \
-                 fix the new panic sites or raise the budget by hand in {}",
+                "refusing to bless: budgets only ratchet downward ({}); \
+                 fix the regressions or raise the budget by hand in {}",
                 raised.join(", "),
                 baseline::BASELINE_FILE
             ));
@@ -242,9 +255,11 @@ pub fn bless(root: &Path) -> Result<String, String> {
     }
     let new = baseline::Baseline {
         budgets: counts.clone(),
+        alloc_budgets: allocs.clone(),
     };
     new.store(&ws.root)?;
-    let summary: Vec<String> = counts.iter().map(|(n, c)| format!("{n} = {c}")).collect();
+    let mut summary: Vec<String> = counts.iter().map(|(n, c)| format!("{n} = {c}")).collect();
+    summary.extend(allocs.iter().map(|(n, c)| format!("alloc {n} = {c}")));
     Ok(format!(
         "blessed {} ({})",
         baseline::BASELINE_FILE,

@@ -42,13 +42,14 @@ fn parse_args() -> Result<Args, String> {
                     "gfw-lint: workspace invariant checker\n\n\
                      USAGE: gfw-lint [--root DIR] [--json] [--fix] [--bless]\n\n\
                      Rules: D1 determinism, D2 crate attributes, P1 panic budget,\n\
-                     C1 protocol-constant consistency, H1 workspace dependencies,\n\
-                     T1 thread isolation (threads only in experiments::runner).\n\
+                     A1 allocation budget (crypto hot path), C1 protocol-constant\n\
+                     consistency, H1 workspace dependencies, T1 thread isolation\n\
+                     (threads only in experiments::runner), T2 heap isolation.\n\
                      Suppress one finding with `// gfwlint: allow(RULE)`.\n\n\
                      --root DIR  lint this workspace (default: nearest enclosing workspace)\n\
                      --json      machine-readable output\n\
                      --fix       apply mechanical fixes (D2 attributes, H1 rewrites)\n\
-                     --bless     regenerate the P1 baseline (budgets only ratchet down)"
+                     --bless     regenerate the P1/A1 baselines (budgets only ratchet down)"
                 );
                 std::process::exit(0);
             }

@@ -25,6 +25,14 @@ pub fn render_human(report: &Report) -> String {
             .collect();
         out.push_str(&format!("panic sites (P1): {}\n", counts.join(" ")));
     }
+    if !report.alloc_counts.is_empty() {
+        let counts: Vec<String> = report
+            .alloc_counts
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect();
+        out.push_str(&format!("alloc sites (A1): {}\n", counts.join(" ")));
+    }
     if report.is_clean() {
         out.push_str(&format!(
             "gfw-lint: clean ({} files scanned, {} allow escape(s) honored)\n",
@@ -71,6 +79,13 @@ pub fn render_json(report: &Report) -> String {
     }
     out.push_str("\n  ],\n  \"panic_counts\": {");
     for (i, (name, count)) in report.panic_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {}", json_str(name), count));
+    }
+    out.push_str("\n  },\n  \"alloc_counts\": {");
+    for (i, (name, count)) in report.alloc_counts.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

@@ -27,6 +27,26 @@ const D1_TOKENS: &[&str] = &[
 /// Explicit panic-site tokens counted by P1.
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!"];
 
+/// Hot-path areas with an allocation budget (A1):
+/// `(baseline key, path prefix, file findings point at)`.
+pub const ALLOC_BUDGET_AREAS: &[(&str, &str, &str)] = &[
+    (
+        "shadowsocks-wire",
+        "crates/shadowsocks/src/wire.rs",
+        "crates/shadowsocks/src/wire.rs",
+    ),
+    (
+        "sscrypto",
+        "crates/sscrypto/src/",
+        "crates/sscrypto/src/lib.rs",
+    ),
+];
+
+/// Heap-allocation tokens counted by A1. These are the per-call
+/// allocations the zero-copy codec work removed from the crypto hot
+/// path; the budget keeps them from creeping back.
+const ALLOC_TOKENS: &[&str] = &[".to_vec()", "Vec::new()", ".clone()"];
+
 /// Crates that must stay single-threaded-deterministic (T1): the
 /// simulation stack never spawns threads or uses channel-based
 /// concurrency — all parallelism lives in `experiments::runner`.
@@ -366,6 +386,106 @@ pub fn p1_panic_budget(ws: &Workspace, report: &mut Report) -> Result<(), String
                     "crate `{name}` has {count} explicit panic sites in non-test code, \
                      over its budget of {budget}; remove some or raise the budget by \
                      hand in {BASELINE_FILE}"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Count A1 heap-allocation tokens in the non-test code of each
+/// budgeted hot-path area. Allow-escaped lines are excluded (the
+/// escape is recorded during `a1_alloc_budget`). Areas with no source
+/// files in this workspace are omitted.
+pub fn alloc_counts(ws: &Workspace) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for &(key, prefix, _) in ALLOC_BUDGET_AREAS {
+        let mut count = 0usize;
+        let mut present = false;
+        for file in ws.sources_under(prefix) {
+            present = true;
+            for line in &file.lines {
+                if line.in_test || line.allows.iter().any(|a| a == "A1") {
+                    continue;
+                }
+                for token in ALLOC_TOKENS {
+                    count += count_token(&line.code, token);
+                }
+            }
+        }
+        if present {
+            counts.insert(key.to_string(), count);
+        }
+    }
+    counts
+}
+
+/// A1: per-area heap-allocation budget against the checked-in baseline.
+///
+/// The crypto hot path (`sscrypto` and the `shadowsocks` wire codec)
+/// went through a deliberate de-allocation pass: keystream batching,
+/// in-place sealing/opening and scratch-buffer reuse. This rule pins
+/// the remaining `.to_vec()` / `Vec::new()` / `.clone()` sites so a
+/// refactor cannot quietly reintroduce per-chunk allocations. Budgets
+/// live in `[alloc-budget]` of `lint-baseline.toml` and only ratchet
+/// down via `--bless`. When the baseline file itself is missing, P1
+/// already reports that; this rule stays quiet to avoid a duplicate.
+pub fn a1_alloc_budget(ws: &Workspace, report: &mut Report) -> Result<(), String> {
+    let counts = alloc_counts(ws);
+    report.alloc_counts = counts.clone();
+    if counts.is_empty() {
+        return Ok(());
+    }
+    // Record honored escapes.
+    for &(_, prefix, _) in ALLOC_BUDGET_AREAS {
+        let escapes: Vec<(String, usize)> = ws
+            .sources_under(prefix)
+            .flat_map(|file| {
+                file.lines.iter().enumerate().filter_map(|(idx, line)| {
+                    let is_alloc_line = ALLOC_TOKENS.iter().any(|t| count_token(&line.code, t) > 0);
+                    (!line.in_test && is_alloc_line && line.allows.iter().any(|a| a == "A1"))
+                        .then(|| (file.rel.clone(), idx + 1))
+                })
+            })
+            .collect();
+        for (file, line) in escapes {
+            report.allows.push(AllowUse {
+                rule: "A1".to_string(),
+                file,
+                line,
+            });
+        }
+    }
+
+    let Some(baseline) = Baseline::load(&ws.root)? else {
+        return Ok(());
+    };
+    for (name, &count) in &counts {
+        let report_file = ALLOC_BUDGET_AREAS
+            .iter()
+            .find(|(key, _, _)| key == name)
+            .map(|&(_, _, f)| f)
+            .unwrap_or(BASELINE_FILE);
+        match baseline.alloc_budgets.get(name) {
+            None => report.findings.push(Finding {
+                rule: "A1",
+                file: BASELINE_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "area `{name}` has no alloc budget entry (current count: {count}); \
+                     run `gfw-lint --bless`"
+                ),
+            }),
+            Some(&budget) if count > budget => report.findings.push(Finding {
+                rule: "A1",
+                file: report_file.to_string(),
+                line: 1,
+                message: format!(
+                    "area `{name}` has {count} heap-allocation sites (`.to_vec()` / \
+                     `Vec::new()` / `.clone()`) in non-test code, over its budget of \
+                     {budget}; reuse scratch buffers on the hot path or raise the \
+                     budget by hand in {BASELINE_FILE}"
                 ),
             }),
             _ => {}

@@ -1,0 +1,6 @@
+//! Fixture protocol crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wire;

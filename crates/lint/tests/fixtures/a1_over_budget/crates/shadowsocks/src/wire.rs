@@ -1,0 +1,11 @@
+//! Wire codec with one budgeted allocation, within its budget.
+
+use sscrypto::seal;
+
+/// One counted allocation site (budget: 1).
+pub fn frame(salt: &[u8], data: &[u8], method_iv_len: usize) -> Vec<u8> {
+    assert_eq!(salt.len(), method_iv_len, "salt.len() must match .iv_len()");
+    let mut out = salt.to_vec();
+    out.extend_from_slice(&seal(data));
+    out
+}

@@ -1,0 +1,25 @@
+//! Fixture crypto crate whose hot path grew extra allocations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Copies its input per call — two counted allocation sites.
+pub fn seal(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&data.to_vec());
+    out
+}
+
+/// A waived diagnostic copy: the escape is honored, not counted.
+pub fn debug_copy(data: &[u8]) -> Vec<u8> {
+    data.to_vec() // gfwlint: allow(A1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_allocs_do_not_count() {
+        let v = vec![1u8, 2];
+        assert_eq!(super::seal(&v), v.clone());
+    }
+}

@@ -66,6 +66,9 @@ fn clean_fixture_is_clean() {
     // Panic counts reflect the single budgeted unwrap in probe.rs.
     assert_eq!(report.panic_counts.get("core"), Some(&1));
     assert_eq!(report.panic_counts.get("sscrypto"), Some(&0));
+    // Alloc counts cover both hot-path areas, allocation-free here.
+    assert_eq!(report.alloc_counts.get("sscrypto"), Some(&0));
+    assert_eq!(report.alloc_counts.get("shadowsocks-wire"), Some(&0));
 }
 
 #[test]
@@ -114,6 +117,40 @@ fn p1_flags_count_over_budget() {
     assert!(msg.contains("budget of 1"), "message: {msg}");
     // The unwraps inside #[cfg(test)] are not counted.
     assert_eq!(report.panic_counts.get("core"), Some(&2));
+}
+
+#[test]
+fn a1_flags_alloc_count_over_budget() {
+    // ISSUE acceptance: the crypto hot path exceeding its allocation
+    // budget must fail the lint; escapes and test code do not count.
+    let report = lint_fixture("a1_over_budget");
+    assert_eq!(
+        spans(&report),
+        vec![("A1", "crates/sscrypto/src/lib.rs", 1)],
+        "got:\n{}",
+        render_human(&report)
+    );
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("2 heap-allocation sites"), "message: {msg}");
+    assert!(msg.contains("budget of 1"), "message: {msg}");
+    // The wire area's one allocation is within its budget of 1.
+    assert_eq!(report.alloc_counts.get("shadowsocks-wire"), Some(&1));
+    assert_eq!(report.alloc_counts.get("sscrypto"), Some(&2));
+    // The waived diagnostic copy's escape is honored, not counted.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "A1");
+    assert_eq!(report.allows[0].file, "crates/sscrypto/src/lib.rs");
+    assert_eq!(report.allows[0].line, 15);
+}
+
+#[test]
+fn a1_bless_refuses_to_raise_alloc_budgets() {
+    let root = copy_to_temp("a1_over_budget");
+    let err = bless(&root).expect_err("bless should refuse to raise an alloc budget");
+    assert!(err.contains("alloc sscrypto: 2 > 1"), "error: {err}");
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml")).unwrap();
+    assert!(text.contains("sscrypto = 1"));
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]

@@ -69,20 +69,25 @@ impl ClientSession {
             let spec = self.target.encode();
             match &mut self.enc {
                 Enc::Stream(enc) => {
-                    let mut plain = spec;
-                    plain.extend_from_slice(data);
-                    enc.encrypt(&plain)
+                    // A stream cipher's keystream is continuous, so two
+                    // sequential encrypt calls yield the same bytes as
+                    // one call on the concatenation.
+                    let mut out = Vec::new();
+                    enc.encrypt_into(&spec, &mut out);
+                    enc.encrypt_into(data, &mut out);
+                    out
                 }
                 Enc::Aead(enc) => {
+                    let mut out = Vec::new();
                     if self.merge_first_chunks {
                         let mut plain = spec;
                         plain.extend_from_slice(data);
-                        enc.seal(&plain)
+                        enc.seal_into(&plain, &mut out);
                     } else {
-                        let mut out = enc.seal(&spec);
-                        out.extend_from_slice(&enc.seal(data));
-                        out
+                        enc.seal_into(&spec, &mut out);
+                        enc.seal_into(data, &mut out);
                     }
+                    out
                 }
             }
         } else {
@@ -99,7 +104,13 @@ impl ClientSession {
     pub fn recv(&mut self, data: &[u8]) -> Vec<u8> {
         match &mut self.dec {
             Dec::Stream(dec) => dec.decrypt(data),
-            Dec::Aead(dec) => dec.decrypt(data).map(|cs| cs.concat()).unwrap_or_default(),
+            Dec::Aead(dec) => {
+                let mut out = Vec::new();
+                // On auth failure `decrypt_into` restores `out` to its
+                // prior (empty) length, matching the old behaviour.
+                let _ = dec.decrypt_into(data, &mut out);
+                out
+            }
         }
     }
 }

@@ -80,6 +80,10 @@ struct Conn {
 pub struct ServerConn {
     /// The configuration this server runs.
     pub config: ServerConfig,
+    // `Method` dispatch hoisted out of the per-packet path: construction
+    // kind and IV/salt length are resolved once per server.
+    kind: Kind,
+    iv_len: usize,
     filter: Option<PingPongBloom>,
     conns: HashMap<u64, Conn>,
     next_id: u64,
@@ -107,6 +111,8 @@ impl ServerConn {
             .replay_filter
             .then(|| PingPongBloom::new(config.replay_filter_capacity));
         ServerConn {
+            kind: config.method.kind(),
+            iv_len: config.method.iv_len(),
             config,
             filter,
             conns: HashMap::new(),
@@ -119,7 +125,7 @@ impl ServerConn {
     pub fn open_conn(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        let phase = match self.config.method.kind() {
+        let phase = match self.kind {
             Kind::Stream => Phase::StreamHeader {
                 dec: StreamDecryptor::new(self.config.method, &self.config.master_key),
                 plain: Vec::new(),
@@ -198,7 +204,7 @@ impl ServerConn {
                 mut plain,
                 mut replay_checked,
             } => {
-                plain.extend(dec.decrypt(data));
+                dec.decrypt_into(data, &mut plain);
                 if !dec.iv_complete() {
                     conn.phase = Phase::StreamHeader {
                         dec,
@@ -241,29 +247,23 @@ impl ServerConn {
                 mut plain,
             } => {
                 got += data.len();
-                let salt_len = self.config.method.iv_len();
+                let salt_len = self.iv_len;
                 let threshold = profile.aead_threshold(salt_len);
                 // Feed the salt portion immediately; stage the rest until
-                // the profile's read threshold is reached.
-                let mut chunks = Vec::new();
+                // the profile's read threshold is reached. Decrypted
+                // plaintext lands directly in `plain`.
                 let mut auth_failed = false;
                 if !dec.salt_complete() {
                     let need = salt_len.saturating_sub(dec.salt().len());
                     let take = need.min(data.len());
-                    match dec.decrypt(&data[..take]) {
-                        Ok(mut cs) => chunks.append(&mut cs),
-                        Err(_) => auth_failed = true,
-                    }
+                    auth_failed |= dec.decrypt_into(&data[..take], &mut plain).is_err();
                     staged.extend_from_slice(&data[take..]);
                 } else {
                     staged.extend_from_slice(data);
                 }
                 if !auth_failed && dec.salt_complete() && got >= threshold && !staged.is_empty() {
                     let to_feed = std::mem::take(&mut staged);
-                    match dec.decrypt(&to_feed) {
-                        Ok(mut cs) => chunks.append(&mut cs),
-                        Err(_) => auth_failed = true,
-                    }
+                    auth_failed |= dec.decrypt_into(&to_feed, &mut plain).is_err();
                 }
                 if dec.salt_complete() && !replay_checked {
                     replay_checked = true;
@@ -286,9 +286,6 @@ impl ServerConn {
                     }
                     return Self::fail(conn, profile.error_reaction);
                 }
-                for c in chunks {
-                    plain.extend(c);
-                }
                 match parse_spec(&plain, profile.masks_addr_type) {
                     ParseOutcome::NeedMore => {
                         conn.phase = Phase::AeadHeader {
@@ -310,49 +307,44 @@ impl ServerConn {
                 }
             }
             Phase::Connecting { mut pending } => {
-                // Keep decrypting while the outbound connect is pending.
-                match self.config.method.kind() {
+                // Keep decrypting while the outbound connect is pending;
+                // plaintext accumulates directly onto `pending`.
+                let res = match self.kind {
                     Kind::Stream => {
                         if let Some(dec) = &mut conn.stream_dec {
-                            pending.extend(dec.decrypt(data));
+                            dec.decrypt_into(data, &mut pending);
                         }
-                        conn.phase = Phase::Connecting { pending };
-                        Vec::new()
+                        Ok(())
                     }
-                    Kind::Aead => {
-                        let res = conn
-                            .aead_dec
-                            .as_mut()
-                            .map(|dec| dec.decrypt(data))
-                            .unwrap_or(Ok(Vec::new()));
-                        match res {
-                            Ok(cs) => {
-                                for c in cs {
-                                    pending.extend(c);
-                                }
-                                conn.phase = Phase::Connecting { pending };
-                                Vec::new()
-                            }
-                            Err(_) => Self::fail(conn, profile.error_reaction),
-                        }
-                    }
-                }
-            }
-            Phase::Relaying => {
-                let out = match self.config.method.kind() {
-                    Kind::Stream => Ok(conn
-                        .stream_dec
-                        .as_mut()
-                        .map(|dec| dec.decrypt(data))
-                        .unwrap_or_default()),
                     Kind::Aead => conn
                         .aead_dec
                         .as_mut()
-                        .map(|dec| dec.decrypt(data).map(|cs| cs.concat()))
-                        .unwrap_or(Ok(Vec::new())),
+                        .map_or(Ok(()), |dec| dec.decrypt_into(data, &mut pending)),
                 };
-                match out {
-                    Ok(flat) => {
+                match res {
+                    Ok(()) => {
+                        conn.phase = Phase::Connecting { pending };
+                        Vec::new()
+                    }
+                    Err(_) => Self::fail(conn, profile.error_reaction),
+                }
+            }
+            Phase::Relaying => {
+                let mut flat = Vec::new();
+                let res = match self.kind {
+                    Kind::Stream => {
+                        if let Some(dec) = &mut conn.stream_dec {
+                            dec.decrypt_into(data, &mut flat);
+                        }
+                        Ok(())
+                    }
+                    Kind::Aead => conn
+                        .aead_dec
+                        .as_mut()
+                        .map_or(Ok(()), |dec| dec.decrypt_into(data, &mut flat)),
+                };
+                match res {
+                    Ok(()) => {
                         conn.phase = Phase::Relaying;
                         if flat.is_empty() {
                             Vec::new()
@@ -403,26 +395,31 @@ impl ServerConn {
     /// Data arrived from the target: encrypt it for the client.
     pub fn on_target_data(&mut self, conn_id: u64, data: &[u8]) -> Vec<ServerAction> {
         let method = self.config.method;
-        let key = self.config.master_key.clone();
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             return Vec::new();
         };
-        let encrypted = match method.kind() {
+        let mut encrypted = Vec::new();
+        match self.kind {
             Kind::Stream => {
                 if conn.stream_enc.is_none() {
-                    let mut iv = vec![0u8; method.iv_len()];
+                    let mut iv = vec![0u8; self.iv_len];
                     self.rng.fill(&mut iv[..]);
-                    conn.stream_enc = Some(StreamEncryptor::new(method, &key, iv));
+                    conn.stream_enc =
+                        Some(StreamEncryptor::new(method, &self.config.master_key, iv));
                 }
-                conn.stream_enc.as_mut().unwrap().encrypt(data)
+                if let Some(enc) = &mut conn.stream_enc {
+                    enc.encrypt_into(data, &mut encrypted);
+                }
             }
             Kind::Aead => {
                 if conn.aead_enc.is_none() {
-                    let mut salt = vec![0u8; method.iv_len()];
+                    let mut salt = vec![0u8; self.iv_len];
                     self.rng.fill(&mut salt[..]);
-                    conn.aead_enc = Some(AeadEncryptor::new(method, &key, salt));
+                    conn.aead_enc = Some(AeadEncryptor::new(method, &self.config.master_key, salt));
                 }
-                conn.aead_enc.as_mut().unwrap().seal(data)
+                if let Some(enc) = &mut conn.aead_enc {
+                    enc.seal_into(data, &mut encrypted);
+                }
             }
         };
         vec![ServerAction::SendToClient(encrypted)]

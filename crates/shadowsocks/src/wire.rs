@@ -43,16 +43,24 @@ impl StreamEncryptor {
         }
     }
 
-    /// Encrypt `plain`, prepending the IV on the first call.
-    pub fn encrypt(&mut self, plain: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(plain.len() + self.iv.len());
+    /// Encrypt `plain`, appending to `out` (IV first on the first call).
+    /// The ciphertext is produced in place on `out`'s tail: no
+    /// intermediate buffer.
+    pub fn encrypt_into(&mut self, plain: &[u8], out: &mut Vec<u8>) {
+        out.reserve(plain.len() + self.iv.len());
         if !self.iv_sent {
             out.extend_from_slice(&self.iv);
             self.iv_sent = true;
         }
-        let mut body = plain.to_vec();
-        self.cipher.apply(&mut body);
-        out.extend_from_slice(&body);
+        let start = out.len();
+        out.extend_from_slice(plain);
+        self.cipher.apply(&mut out[start..]);
+    }
+
+    /// Encrypt `plain`, prepending the IV on the first call.
+    pub fn encrypt(&mut self, plain: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plain.len() + self.iv.len());
+        self.encrypt_into(plain, &mut out);
         out
     }
 }
@@ -65,6 +73,9 @@ impl StreamEncryptor {
 /// short probes in Fig 10a.
 pub struct StreamDecryptor {
     method: Method,
+    // `Method` dispatch hoisted out of the per-call path: the IV length
+    // is resolved once here instead of on every `decrypt`.
+    iv_len: usize,
     master_key: Vec<u8>,
     iv_buf: Vec<u8>,
     cipher: Option<Box<dyn StreamCipher>>,
@@ -76,6 +87,7 @@ impl StreamDecryptor {
         assert_eq!(method.kind(), Kind::Stream);
         StreamDecryptor {
             method,
+            iv_len: method.iv_len(),
             master_key: master_key.to_vec(),
             iv_buf: Vec::new(),
             cipher: None,
@@ -92,15 +104,16 @@ impl StreamDecryptor {
         &self.iv_buf
     }
 
-    /// Feed ciphertext; returns any newly decrypted plaintext.
-    pub fn decrypt(&mut self, mut data: &[u8]) -> Vec<u8> {
-        let iv_len = self.method.iv_len();
+    /// Feed ciphertext, appending any newly decrypted plaintext to
+    /// `out`. Decryption happens in place on `out`'s tail: no
+    /// intermediate copy of `data`.
+    pub fn decrypt_into(&mut self, mut data: &[u8], out: &mut Vec<u8>) {
         if self.cipher.is_none() {
-            let need = iv_len - self.iv_buf.len();
+            let need = self.iv_len - self.iv_buf.len();
             let take = need.min(data.len());
             self.iv_buf.extend_from_slice(&data[..take]);
             data = &data[take..];
-            if self.iv_buf.len() == iv_len {
+            if self.iv_buf.len() == self.iv_len {
                 self.cipher = Some(self.method.new_stream(
                     &self.master_key,
                     &self.iv_buf,
@@ -108,14 +121,20 @@ impl StreamDecryptor {
                 ));
             }
         }
-        match &mut self.cipher {
-            Some(c) if !data.is_empty() => {
-                let mut out = data.to_vec();
-                c.apply(&mut out);
-                out
+        if let Some(c) = &mut self.cipher {
+            if !data.is_empty() {
+                let start = out.len();
+                out.extend_from_slice(data);
+                c.apply(&mut out[start..]);
             }
-            _ => Vec::new(),
         }
+    }
+
+    /// Feed ciphertext; returns any newly decrypted plaintext.
+    pub fn decrypt(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.decrypt_into(data, &mut out);
+        out
     }
 }
 
@@ -157,39 +176,49 @@ impl AeadEncryptor {
         }
     }
 
-    /// Seal one chunk (`plain.len() <= MAX_CHUNK`), prepending the salt
-    /// on the first call.
-    pub fn seal_chunk(&mut self, plain: &[u8]) -> Vec<u8> {
+    /// Seal one chunk (`plain.len() <= MAX_CHUNK`) directly onto `out`,
+    /// prepending the salt on the first call. Both frames are encrypted
+    /// in place on `out`'s tail: no intermediate buffers.
+    pub fn seal_chunk_into(&mut self, plain: &[u8], out: &mut Vec<u8>) {
         assert!(plain.len() <= MAX_CHUNK, "chunk too large");
-        let mut out = Vec::with_capacity(self.salt.len() + 2 + TAG_LEN * 2 + plain.len());
+        out.reserve(self.salt.len() + 2 + TAG_LEN * 2 + plain.len());
         if !self.salt_sent {
             out.extend_from_slice(&self.salt);
             self.salt_sent = true;
         }
-        // Length chunk.
-        let mut len_bytes = (plain.len() as u16).to_be_bytes().to_vec();
-        let tag = self.aead.seal(&self.nonce, &[], &mut len_bytes);
+        // Length frame.
+        let start = out.len();
+        out.extend_from_slice(&(plain.len() as u16).to_be_bytes());
+        let tag = self.aead.seal(&self.nonce, &[], &mut out[start..]);
         next_nonce(&mut self.nonce);
-        out.extend_from_slice(&len_bytes);
         out.extend_from_slice(&tag);
-        // Payload chunk.
-        let mut body = plain.to_vec();
-        let tag = self.aead.seal(&self.nonce, &[], &mut body);
+        // Payload frame.
+        let start = out.len();
+        out.extend_from_slice(plain);
+        let tag = self.aead.seal(&self.nonce, &[], &mut out[start..]);
         next_nonce(&mut self.nonce);
-        out.extend_from_slice(&body);
         out.extend_from_slice(&tag);
+    }
+
+    /// Seal arbitrary-length data as a sequence of chunks onto `out`.
+    pub fn seal_into(&mut self, plain: &[u8], out: &mut Vec<u8>) {
+        for chunk in plain.chunks(MAX_CHUNK) {
+            self.seal_chunk_into(chunk, out);
+        }
+    }
+
+    /// Seal one chunk (`plain.len() <= MAX_CHUNK`), prepending the salt
+    /// on the first call.
+    pub fn seal_chunk(&mut self, plain: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.seal_chunk_into(plain, &mut out);
         out
     }
 
     /// Seal arbitrary-length data as a sequence of chunks.
     pub fn seal(&mut self, plain: &[u8]) -> Vec<u8> {
-        if plain.is_empty() {
-            return Vec::new();
-        }
         let mut out = Vec::new();
-        for chunk in plain.chunks(MAX_CHUNK) {
-            out.extend_from_slice(&self.seal_chunk(chunk));
-        }
+        self.seal_into(plain, &mut out);
         out
     }
 }
@@ -205,14 +234,28 @@ pub enum AeadPhase {
     Payload(usize),
 }
 
+/// Once the dead prefix of the receive buffer (bytes before `pos`)
+/// grows past this, [`AeadDecryptor`] compacts it with one `drain`.
+/// Amortizes what used to be an O(buffered) drain per frame.
+const COMPACT_THRESHOLD: usize = 4096;
+
 /// Decrypting half of an AEAD session.
+///
+/// Incoming bytes accumulate in one buffer and frames are decrypted in
+/// place there; a cursor tracks the consumed prefix, which is reclaimed
+/// lazily (see [`COMPACT_THRESHOLD`]) instead of drained per frame.
 pub struct AeadDecryptor {
     method: Method,
+    // `Method` dispatch hoisted out of the per-call path: the salt
+    // length is resolved once here instead of on every `decrypt`.
+    salt_len: usize,
     master_key: Vec<u8>,
     aead: Option<Box<dyn Aead>>,
     salt: Vec<u8>,
     nonce: Vec<u8>,
     buf: Vec<u8>,
+    /// Consumed prefix of `buf`; bytes before this are dead.
+    pos: usize,
     phase: AeadPhase,
 }
 
@@ -222,11 +265,13 @@ impl AeadDecryptor {
         assert_eq!(method.kind(), Kind::Aead);
         AeadDecryptor {
             method,
+            salt_len: method.iv_len(),
             master_key: master_key.to_vec(),
             aead: None,
             salt: Vec::new(),
             nonce: Vec::new(),
             buf: Vec::new(),
+            pos: 0,
             phase: AeadPhase::Salt,
         }
     }
@@ -243,7 +288,7 @@ impl AeadDecryptor {
 
     /// Bytes buffered but not yet decryptable.
     pub fn buffered(&self) -> usize {
-        self.buf.len() + self.salt.len()
+        (self.buf.len() - self.pos) + self.salt.len()
     }
 
     /// Current phase.
@@ -251,17 +296,15 @@ impl AeadDecryptor {
         self.phase
     }
 
-    /// Feed ciphertext. Returns complete decrypted chunks, or the first
-    /// authentication error (at which point the session is poisoned).
-    pub fn decrypt(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, AuthError> {
-        let salt_len = self.method.iv_len();
-        let mut data = data;
+    /// Absorb the salt prefix (deriving the subkey once complete) and
+    /// append the remainder to the receive buffer.
+    fn ingest(&mut self, mut data: &[u8]) {
         if self.aead.is_none() {
-            let need = salt_len - self.salt.len();
+            let need = self.salt_len - self.salt.len();
             let take = need.min(data.len());
             self.salt.extend_from_slice(&data[..take]);
             data = &data[take..];
-            if self.salt.len() == salt_len {
+            if self.salt.len() == self.salt_len {
                 let subkey = ss_subkey(&self.master_key, &self.salt);
                 let aead = self.method.new_aead(&subkey);
                 self.nonce = vec![0u8; aead.nonce_len()];
@@ -270,41 +313,97 @@ impl AeadDecryptor {
             }
         }
         self.buf.extend_from_slice(data);
-        let Some(aead) = &self.aead else {
-            return Ok(Vec::new());
-        };
+    }
 
-        let mut out = Vec::new();
+    /// Decrypt the next complete payload frame in place inside `buf`,
+    /// advancing the cursor past it. Returns the plaintext's range
+    /// within `buf`, or `None` if more data is needed.
+    fn next_frame(&mut self) -> Result<Option<std::ops::Range<usize>>, AuthError> {
+        let Some(aead) = &self.aead else {
+            return Ok(None);
+        };
         loop {
+            let avail = self.buf.len() - self.pos;
             match self.phase {
-                AeadPhase::Salt => unreachable!("salt handled above"),
+                AeadPhase::Salt => unreachable!("salt handled in ingest"),
                 AeadPhase::Length => {
-                    if self.buf.len() < 2 + TAG_LEN {
-                        break;
+                    if avail < 2 + TAG_LEN {
+                        return Ok(None);
                     }
-                    let mut len_bytes = [self.buf[0], self.buf[1]];
-                    let tag: [u8; TAG_LEN] = self.buf[2..2 + TAG_LEN].try_into().unwrap();
+                    let mut len_bytes = [self.buf[self.pos], self.buf[self.pos + 1]];
+                    let mut tag = [0u8; TAG_LEN];
+                    tag.copy_from_slice(&self.buf[self.pos + 2..self.pos + 2 + TAG_LEN]);
                     aead.open(&self.nonce, &[], &mut len_bytes, &tag)?;
                     next_nonce(&mut self.nonce);
-                    self.buf.drain(..2 + TAG_LEN);
+                    self.pos += 2 + TAG_LEN;
                     let len = u16::from_be_bytes(len_bytes) as usize & MAX_CHUNK;
                     self.phase = AeadPhase::Payload(len);
                 }
                 AeadPhase::Payload(len) => {
-                    if self.buf.len() < len + TAG_LEN {
-                        break;
+                    if avail < len + TAG_LEN {
+                        return Ok(None);
                     }
-                    let mut body = self.buf[..len].to_vec();
-                    let tag: [u8; TAG_LEN] = self.buf[len..len + TAG_LEN].try_into().unwrap();
-                    aead.open(&self.nonce, &[], &mut body, &tag)?;
+                    let mut tag = [0u8; TAG_LEN];
+                    tag.copy_from_slice(&self.buf[self.pos + len..self.pos + len + TAG_LEN]);
+                    let body = &mut self.buf[self.pos..self.pos + len];
+                    aead.open(&self.nonce, &[], body, &tag)?;
                     next_nonce(&mut self.nonce);
-                    self.buf.drain(..len + TAG_LEN);
-                    out.push(body);
+                    let start = self.pos;
+                    self.pos += len + TAG_LEN;
                     self.phase = AeadPhase::Length;
+                    return Ok(Some(start..start + len));
                 }
             }
         }
-        Ok(out)
+    }
+
+    /// Reclaim the consumed prefix of `buf` when it is free (everything
+    /// consumed) or large enough to amortize the move.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Feed ciphertext, appending decrypted payload bytes to `out`
+    /// (chunk boundaries are not preserved). On the first
+    /// authentication error `out` is restored to its previous length
+    /// and the session is poisoned.
+    pub fn decrypt_into(&mut self, data: &[u8], out: &mut Vec<u8>) -> Result<(), AuthError> {
+        self.ingest(data);
+        let mark = out.len();
+        let res = loop {
+            match self.next_frame() {
+                Ok(Some(r)) => out.extend_from_slice(&self.buf[r]),
+                Ok(None) => break Ok(()),
+                Err(e) => {
+                    out.truncate(mark);
+                    break Err(e);
+                }
+            }
+        };
+        self.compact();
+        res
+    }
+
+    /// Feed ciphertext. Returns complete decrypted chunks, or the first
+    /// authentication error (at which point the session is poisoned).
+    pub fn decrypt(&mut self, data: &[u8]) -> Result<Vec<Vec<u8>>, AuthError> {
+        self.ingest(data);
+        let mut out = Vec::new();
+        let res = loop {
+            match self.next_frame() {
+                Ok(Some(r)) => out.push(self.buf[r].to_vec()),
+                Ok(None) => break Ok(out),
+                Err(e) => break Err(e),
+            }
+        };
+        self.compact();
+        res
     }
 }
 

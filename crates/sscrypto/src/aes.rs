@@ -1,8 +1,10 @@
 //! AES block cipher (FIPS 197) supporting 128/192/256-bit keys.
 //!
-//! A straightforward table-free implementation: S-box lookups plus
-//! xtime-based MixColumns. Used by the CTR, CFB and GCM modes in this
-//! crate, which together cover the `aes-*-ctr`, `aes-*-cfb` and
+//! Encryption runs on compile-time T-tables (`TE0..TE3`): each table
+//! entry is a whole MixColumns column for one S-boxed input byte, so a
+//! round is 16 lookups and 16 XORs on `u32` words instead of byte-wise
+//! SubBytes/ShiftRows/MixColumns. Used by the CTR, CFB and GCM modes in
+//! this crate, which together cover the `aes-*-ctr`, `aes-*-cfb` and
 //! `aes-*-gcm` Shadowsocks methods.
 
 /// AES block size in bytes.
@@ -27,9 +29,41 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-fn xtime(b: u8) -> u8 {
+const fn xtime(b: u8) -> u8 {
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
+
+/// `TE0[x]` is the MixColumns output column for a row-0 byte `x` after
+/// SubBytes, packed big-endian: `[2·S(x), S(x), S(x), 3·S(x)]`. Rows
+/// 1–3 use the same column rotated (TE1–TE3), which is exactly what
+/// ShiftRows feeds MixColumns.
+const TE0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s1 = s as u32;
+        let s2 = xtime(s) as u32;
+        let s3 = s2 ^ s1;
+        t[i] = (s2 << 24) | (s1 << 16) | (s1 << 8) | s3;
+        i += 1;
+    }
+    t
+};
+
+const fn rotr_table(src: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(bits);
+        i += 1;
+    }
+    t
+}
+
+const TE1: [u32; 256] = rotr_table(&TE0, 8);
+const TE2: [u32; 256] = rotr_table(&TE0, 16);
+const TE3: [u32; 256] = rotr_table(&TE0, 24);
 
 /// An AES key schedule, ready to encrypt blocks.
 ///
@@ -38,7 +72,8 @@ fn xtime(b: u8) -> u8 {
 /// Shadowsocks needs.
 #[derive(Clone)]
 pub struct Aes {
-    round_keys: Vec<[u8; 16]>,
+    /// One `[u32; 4]` per round: word `c` is column `c`, big-endian.
+    round_keys: Vec<[u32; 4]>,
     rounds: usize,
 }
 
@@ -87,28 +122,49 @@ impl Aes {
         let round_keys = w
             .chunks_exact(4)
             .map(|c| {
-                let mut rk = [0u8; 16];
-                for (i, word) in c.iter().enumerate() {
-                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
-                }
-                rk
+                [
+                    u32::from_be_bytes(c[0]),
+                    u32::from_be_bytes(c[1]),
+                    u32::from_be_bytes(c[2]),
+                    u32::from_be_bytes(c[3]),
+                ]
             })
             .collect();
         Aes { round_keys, rounds }
     }
 
     /// Encrypt a single 16-byte block in place.
+    ///
+    /// State columns live in big-endian `u32`s (column `c` is
+    /// `block[4c..4c+4]`, row 0 in the high byte); each T-table lookup
+    /// covers SubBytes, ShiftRows and MixColumns for one byte.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
+        let mut s = [
+            be32(block, 0) ^ self.round_keys[0][0],
+            be32(block, 4) ^ self.round_keys[0][1],
+            be32(block, 8) ^ self.round_keys[0][2],
+            be32(block, 12) ^ self.round_keys[0][3],
+        ];
         for round in 1..self.rounds {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[round]);
+            let rk = &self.round_keys[round];
+            s = [
+                te(s[0], s[1], s[2], s[3]) ^ rk[0],
+                te(s[1], s[2], s[3], s[0]) ^ rk[1],
+                te(s[2], s[3], s[0], s[1]) ^ rk[2],
+                te(s[3], s[0], s[1], s[2]) ^ rk[3],
+            ];
         }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[self.rounds]);
+        // Final round: SubBytes + ShiftRows only.
+        let rk = &self.round_keys[self.rounds];
+        let out = [
+            sub_word(s[0], s[1], s[2], s[3]) ^ rk[0],
+            sub_word(s[1], s[2], s[3], s[0]) ^ rk[1],
+            sub_word(s[2], s[3], s[0], s[1]) ^ rk[2],
+            sub_word(s[3], s[0], s[1], s[2]) ^ rk[3],
+        ];
+        for (chunk, w) in block.chunks_exact_mut(4).zip(out) {
+            chunk.copy_from_slice(&w.to_be_bytes());
+        }
     }
 
     /// Encrypt a block, returning the ciphertext.
@@ -119,41 +175,27 @@ impl Aes {
     }
 }
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk) {
-        *s ^= k;
-    }
+fn be32(b: &[u8; 16], i: usize) -> u32 {
+    u32::from_be_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]])
 }
 
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
+/// One main-round output column from the four shifted input columns
+/// (`a` supplies row 0, `b` row 1, `c` row 2, `d` row 3).
+#[inline(always)]
+fn te(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    TE0[(a >> 24) as usize]
+        ^ TE1[((b >> 16) & 0xff) as usize]
+        ^ TE2[((c >> 8) & 0xff) as usize]
+        ^ TE3[(d & 0xff) as usize]
 }
 
-// State is column-major: state[4*c + r] is row r, column c.
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
-        }
-    }
-}
-
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
-        for r in 0..4 {
-            state[4 * c + r] = col[r] ^ t ^ xtime(col[r] ^ col[(r + 1) % 4]);
-        }
-    }
+/// Final-round output column: SubBytes and ShiftRows without MixColumns.
+#[inline(always)]
+fn sub_word(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[((b >> 16) & 0xff) as usize] as u32) << 16)
+        | ((SBOX[((c >> 8) & 0xff) as usize] as u32) << 8)
+        | (SBOX[(d & 0xff) as usize] as u32)
 }
 
 #[cfg(test)]

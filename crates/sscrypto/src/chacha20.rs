@@ -64,9 +64,36 @@ impl ChaCha20 {
         self.used = 0;
     }
 
+    /// Produce four consecutive keystream blocks (256 bytes) for the
+    /// current counter into `out` and advance the counter by 4. Same
+    /// keystream bytes as four [`Self::next_block`] calls.
+    fn next_blocks4(&mut self, out: &mut [u8; 256]) {
+        let mut states = [self.state; 4];
+        for (l, st) in states.iter_mut().enumerate() {
+            st[12] = self.state[12].wrapping_add(l as u32);
+        }
+        blocks4(&states, out);
+        self.state[12] = self.state[12].wrapping_add(4);
+    }
+
     /// XOR the keystream into `data` in place, continuing the stream.
     pub fn apply(&mut self, data: &mut [u8]) {
-        for byte in data {
+        // Drain any partial block so the batched path stays aligned.
+        let mut i = 0;
+        while self.used < 64 && i < data.len() {
+            data[i] ^= self.keystream[self.used];
+            self.used += 1;
+            i += 1;
+        }
+        while data.len() - i >= 256 {
+            let mut ks = [0u8; 256];
+            self.next_blocks4(&mut ks);
+            for (b, k) in data[i..i + 256].iter_mut().zip(&ks) {
+                *b ^= k;
+            }
+            i += 256;
+        }
+        for byte in &mut data[i..] {
             if self.used == 64 {
                 self.next_block();
             }
@@ -140,9 +167,39 @@ impl ChaCha20Legacy {
         self.used = 0;
     }
 
+    /// Four consecutive keystream blocks for the current 64-bit counter;
+    /// advances the counter by 4.
+    fn next_blocks4(&mut self, out: &mut [u8; 256]) {
+        let base = (self.state[13] as u64) << 32 | self.state[12] as u64;
+        let mut states = [self.state; 4];
+        for (l, st) in states.iter_mut().enumerate() {
+            let c = base.wrapping_add(l as u64);
+            st[12] = c as u32;
+            st[13] = (c >> 32) as u32;
+        }
+        blocks4(&states, out);
+        let c = base.wrapping_add(4);
+        self.state[12] = c as u32;
+        self.state[13] = (c >> 32) as u32;
+    }
+
     /// XOR the keystream into `data` in place, continuing the stream.
     pub fn apply(&mut self, data: &mut [u8]) {
-        for byte in data {
+        let mut i = 0;
+        while self.used < 64 && i < data.len() {
+            data[i] ^= self.keystream[self.used];
+            self.used += 1;
+            i += 1;
+        }
+        while data.len() - i >= 256 {
+            let mut ks = [0u8; 256];
+            self.next_blocks4(&mut ks);
+            for (b, k) in data[i..i + 256].iter_mut().zip(&ks) {
+                *b ^= k;
+            }
+            i += 256;
+        }
+        for byte in &mut data[i..] {
             if self.used == 64 {
                 self.next_block();
             }
@@ -194,6 +251,56 @@ fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
     s[d] = (s[d] ^ s[a]).rotate_left(8);
     s[c] = s[c].wrapping_add(s[d]);
     s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// Four interleaved block computations over a lane-widened working
+/// state: `states[l]` is the full 16-word initial state of lane `l`
+/// (identical except for the counter words). The four quarter-round
+/// chains are independent, so the per-word lane loops vectorize; lane
+/// `l` of the keystream lands in `out[l * 64..(l + 1) * 64]`.
+fn blocks4(states: &[[u32; 16]; 4], out: &mut [u8; 256]) {
+    let mut w = [[0u32; 4]; 16];
+    for (word, lanes) in w.iter_mut().enumerate() {
+        for (lane, s) in lanes.iter_mut().zip(states) {
+            *lane = s[word];
+        }
+    }
+    for _ in 0..10 {
+        qr4(&mut w, 0, 4, 8, 12);
+        qr4(&mut w, 1, 5, 9, 13);
+        qr4(&mut w, 2, 6, 10, 14);
+        qr4(&mut w, 3, 7, 11, 15);
+        qr4(&mut w, 0, 5, 10, 15);
+        qr4(&mut w, 1, 6, 11, 12);
+        qr4(&mut w, 2, 7, 8, 13);
+        qr4(&mut w, 3, 4, 9, 14);
+    }
+    for (l, (block, init)) in out.chunks_exact_mut(64).zip(states).enumerate() {
+        for (word, dst) in block.chunks_exact_mut(4).enumerate() {
+            dst.copy_from_slice(&w[word][l].wrapping_add(init[word]).to_le_bytes());
+        }
+    }
+}
+
+/// One quarter round applied across all four lanes of the widened state.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)] // `l` indexes four rows of `s` at once
+fn qr4(s: &mut [[u32; 4]; 16], ai: usize, bi: usize, ci: usize, di: usize) {
+    for l in 0..4 {
+        let (mut a, mut b, mut c, mut d) = (s[ai][l], s[bi][l], s[ci][l], s[di][l]);
+        a = a.wrapping_add(b);
+        d = (d ^ a).rotate_left(16);
+        c = c.wrapping_add(d);
+        b = (b ^ c).rotate_left(12);
+        a = a.wrapping_add(b);
+        d = (d ^ a).rotate_left(8);
+        c = c.wrapping_add(d);
+        b = (b ^ c).rotate_left(7);
+        s[ai][l] = a;
+        s[bi][l] = b;
+        s[ci][l] = c;
+        s[di][l] = d;
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +385,58 @@ mod tests {
         let mut dec = ChaCha20Legacy::new(&key, &nonce);
         dec.apply(&mut buf);
         assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn batched_matches_single_block_path() {
+        let key = [0x5au8; 32];
+        let nonce = [0x0fu8; 12];
+        // Two batched iterations plus a tail, from a non-zero counter.
+        let mut batched = vec![0u8; 700];
+        ChaCha20::new(&key, &nonce, 7).apply(&mut batched);
+        let mut scalar = vec![0u8; 700];
+        let mut c = ChaCha20::new(&key, &nonce, 7);
+        for b in scalar.chunks_mut(1) {
+            c.apply(b); // 1-byte calls never reach the batched path
+        }
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_matches_after_partial_block() {
+        let key = [0x77u8; 32];
+        let nonce = [0x31u8; 12];
+        let mut a = vec![0u8; 600];
+        let mut ca = ChaCha20::new(&key, &nonce, 0);
+        ca.apply(&mut a[..10]); // leaves a partial block to drain
+        ca.apply(&mut a[10..]);
+        let mut b = vec![0u8; 600];
+        let mut cb = ChaCha20::new(&key, &nonce, 0);
+        for chunk in b.chunks_mut(1) {
+            cb.apply(chunk);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn legacy_batched_carries_64_bit_counter() {
+        let key = [0x13u8; 32];
+        let nonce = [0x09u8; 8];
+        let mut a = ChaCha20Legacy::new(&key, &nonce);
+        let mut b = ChaCha20Legacy::new(&key, &nonce);
+        // Place the 64-bit counter so the batch of 4 crosses the u32
+        // boundary of word 12.
+        a.state[12] = u32::MAX - 1;
+        b.state[12] = u32::MAX - 1;
+        let mut batched = vec![0u8; 512];
+        a.apply(&mut batched);
+        let mut scalar = vec![0u8; 512];
+        for chunk in scalar.chunks_mut(1) {
+            b.apply(chunk);
+        }
+        assert_eq!(batched, scalar);
+        assert_eq!(a.state[12], b.state[12]);
+        assert_eq!(a.state[13], b.state[13]);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct Poly1305 {
     pad: [u32; 4],
     buf: [u8; 16],
     buf_len: usize,
+    /// `[r⁴, r³, r², r]` for the 4-block path, computed on the first
+    /// update long enough to use it (short messages never pay for it).
+    powers: Option<[[u32; 5]; 4]>,
 }
 
 impl Poly1305 {
@@ -42,80 +45,37 @@ impl Poly1305 {
             pad,
             buf: [0; 16],
             buf_len: 0,
+            powers: None,
         }
     }
 
     fn block(&mut self, block: &[u8; 16], partial: bool) {
         let hibit: u32 = if partial { 0 } else { 1 << 24 };
-        let t0 = le32(block, 0);
-        let t1 = le32(block, 4);
-        let t2 = le32(block, 8);
-        let t3 = le32(block, 12);
+        let mut a = limbs(block, hibit);
+        for (ai, hi) in a.iter_mut().zip(&self.h) {
+            *ai += *hi;
+        }
+        let mut d = [0u64; 5];
+        accumulate(&mut d, &a, &self.r);
+        self.h = carry_reduce(d);
+    }
 
-        let mut h = self.h;
-        h[0] += t0 & 0x3ffffff;
-        h[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
-        h[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
-        h[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
-        h[4] += (t3 >> 8) | hibit;
-
-        let r = self.r;
-        let s1 = r[1] * 5;
-        let s2 = r[2] * 5;
-        let s3 = r[3] * 5;
-        let s4 = r[4] * 5;
-
-        let h64: [u64; 5] = [
-            h[0] as u64,
-            h[1] as u64,
-            h[2] as u64,
-            h[3] as u64,
-            h[4] as u64,
-        ];
-        let r64: [u64; 5] = [
-            r[0] as u64,
-            r[1] as u64,
-            r[2] as u64,
-            r[3] as u64,
-            r[4] as u64,
-        ];
-        let s64: [u64; 4] = [s1 as u64, s2 as u64, s3 as u64, s4 as u64];
-
-        let d0 =
-            h64[0] * r64[0] + h64[1] * s64[3] + h64[2] * s64[2] + h64[3] * s64[1] + h64[4] * s64[0];
-        let d1 =
-            h64[0] * r64[1] + h64[1] * r64[0] + h64[2] * s64[3] + h64[3] * s64[2] + h64[4] * s64[1];
-        let d2 =
-            h64[0] * r64[2] + h64[1] * r64[1] + h64[2] * r64[0] + h64[3] * s64[3] + h64[4] * s64[2];
-        let d3 =
-            h64[0] * r64[3] + h64[1] * r64[2] + h64[2] * r64[1] + h64[3] * r64[0] + h64[4] * s64[3];
-        let d4 =
-            h64[0] * r64[4] + h64[1] * r64[3] + h64[2] * r64[2] + h64[3] * r64[1] + h64[4] * r64[0];
-
-        // Carry propagation.
-        let mut c: u64;
-        let mut d = [d0, d1, d2, d3, d4];
-        c = d[0] >> 26;
-        d[1] += c;
-        let mut hh = [0u32; 5];
-        hh[0] = (d[0] & 0x3ffffff) as u32;
-        c = d[1] >> 26;
-        d[2] += c;
-        hh[1] = (d[1] & 0x3ffffff) as u32;
-        c = d[2] >> 26;
-        d[3] += c;
-        hh[2] = (d[2] & 0x3ffffff) as u32;
-        c = d[3] >> 26;
-        d[4] += c;
-        hh[3] = (d[3] & 0x3ffffff) as u32;
-        c = d[4] >> 26;
-        hh[4] = (d[4] & 0x3ffffff) as u32;
-        hh[0] += (c * 5) as u32;
-        let c2 = hh[0] >> 26;
-        hh[0] &= 0x3ffffff;
-        hh[1] += c2;
-
-        self.h = hh;
+    /// Absorb four 16-byte blocks at once. With the precomputed powers,
+    /// `h' = (h + m1)·r⁴ + m2·r³ + m3·r² + m4·r (mod p)` — the same
+    /// value the scalar loop computes, evaluated as one parallel Horner
+    /// step so the four limb multiplies are independent.
+    fn blocks4(&mut self, m: &[u8; 64], powers: &[[u32; 5]; 4]) {
+        let mut d = [0u64; 5];
+        for (i, (block, rp)) in m.chunks_exact(16).zip(powers).enumerate() {
+            let mut a = limbs(block, 1 << 24);
+            if i == 0 {
+                for (ai, hi) in a.iter_mut().zip(&self.h) {
+                    *ai += *hi;
+                }
+            }
+            accumulate(&mut d, &a, rp);
+        }
+        self.h = carry_reduce(d);
     }
 
     /// Absorb message data.
@@ -129,6 +89,23 @@ impl Poly1305 {
                 let block = self.buf;
                 self.block(&block, false);
                 self.buf_len = 0;
+            }
+        }
+        if data.len() >= 64 {
+            let powers = match self.powers {
+                Some(p) => p,
+                None => {
+                    let r2 = mul_reduced(&self.r, &self.r);
+                    let r3 = mul_reduced(&r2, &self.r);
+                    let r4 = mul_reduced(&r3, &self.r);
+                    let p = [r4, r3, r2, self.r];
+                    self.powers = Some(p);
+                    p
+                }
+            };
+            while let Some((four, rest)) = data.split_first_chunk::<64>() {
+                self.blocks4(four, &powers);
+                data = rest;
             }
         }
         while let Some((block, rest)) = data.split_first_chunk::<16>() {
@@ -201,6 +178,71 @@ impl Poly1305 {
         out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
         out
     }
+}
+
+/// Split a 16-byte block into five 26-bit limbs, OR-ing `hibit` (the
+/// 2^128 message bit) into the top limb — pass 0 for the final padded
+/// block.
+fn limbs(block: &[u8], hibit: u32) -> [u32; 5] {
+    let t0 = le32(block, 0);
+    let t1 = le32(block, 4);
+    let t2 = le32(block, 8);
+    let t3 = le32(block, 12);
+    [
+        t0 & 0x3ffffff,
+        ((t0 >> 26) | (t1 << 6)) & 0x3ffffff,
+        ((t1 >> 20) | (t2 << 12)) & 0x3ffffff,
+        ((t2 >> 14) | (t3 << 18)) & 0x3ffffff,
+        (t3 >> 8) | hibit,
+    ]
+}
+
+/// `d += a · rp`: 5×26-bit schoolbook multiply with the ·5 wraparound
+/// folding of 2^130 ≡ 5 (mod p). With reduced inputs each product is
+/// < 2^56, so up to four accumulated multiplies stay well inside `u64`.
+fn accumulate(d: &mut [u64; 5], a: &[u32; 5], rp: &[u32; 5]) {
+    let a64: [u64; 5] = a.map(u64::from);
+    let r64: [u64; 5] = rp.map(u64::from);
+    let s = [r64[1] * 5, r64[2] * 5, r64[3] * 5, r64[4] * 5];
+    d[0] += a64[0] * r64[0] + a64[1] * s[3] + a64[2] * s[2] + a64[3] * s[1] + a64[4] * s[0];
+    d[1] += a64[0] * r64[1] + a64[1] * r64[0] + a64[2] * s[3] + a64[3] * s[2] + a64[4] * s[1];
+    d[2] += a64[0] * r64[2] + a64[1] * r64[1] + a64[2] * r64[0] + a64[3] * s[3] + a64[4] * s[2];
+    d[3] += a64[0] * r64[3] + a64[1] * r64[2] + a64[2] * r64[1] + a64[3] * r64[0] + a64[4] * s[3];
+    d[4] += a64[0] * r64[4] + a64[1] * r64[3] + a64[2] * r64[2] + a64[3] * r64[1] + a64[4] * r64[0];
+}
+
+/// Propagate carries on an accumulated product, folding the top carry
+/// back as ·5. The fold is done in `u64`: after four accumulated
+/// multiplies the top carry times 5 can exceed `u32`.
+fn carry_reduce(mut d: [u64; 5]) -> [u32; 5] {
+    let mut hh = [0u32; 5];
+    let mut c: u64;
+    c = d[0] >> 26;
+    d[1] += c;
+    hh[0] = (d[0] & 0x3ffffff) as u32;
+    c = d[1] >> 26;
+    d[2] += c;
+    hh[1] = (d[1] & 0x3ffffff) as u32;
+    c = d[2] >> 26;
+    d[3] += c;
+    hh[2] = (d[2] & 0x3ffffff) as u32;
+    c = d[3] >> 26;
+    d[4] += c;
+    hh[3] = (d[3] & 0x3ffffff) as u32;
+    c = d[4] >> 26;
+    hh[4] = (d[4] & 0x3ffffff) as u32;
+    let t = hh[0] as u64 + c * 5;
+    hh[0] = (t & 0x3ffffff) as u32;
+    hh[1] += (t >> 26) as u32;
+    hh
+}
+
+/// `(a · b) mod p` with both inputs and the result in reduced limb form
+/// — used to precompute the r powers.
+fn mul_reduced(a: &[u32; 5], b: &[u32; 5]) -> [u32; 5] {
+    let mut d = [0u64; 5];
+    accumulate(&mut d, a, b);
+    carry_reduce(d)
 }
 
 /// One-shot Poly1305.
@@ -290,6 +332,25 @@ mod tests {
             p.update(&msg[..split]);
             p.update(&msg[split..]);
             assert_eq!(p.finalize(), poly1305(&key, &msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_blocks() {
+        // Worst-case carries: all-0xff message and a fully clamped key.
+        let mut key = [0xffu8; 32];
+        key[3] &= 0x0f; // keep r clamp-compatible but dense
+        let msg = vec![0xffu8; 257];
+        for len in [63, 64, 65, 128, 129, 192, 255, 256, 257] {
+            // One-shot takes the batched path for every full 64 bytes.
+            let batched = poly1305(&key, &msg[..len]);
+            // 15-byte updates never fill 64 contiguous bytes, so every
+            // block goes through the scalar path.
+            let mut p = Poly1305::new(&key);
+            for c in msg[..len].chunks(15) {
+                p.update(c);
+            }
+            assert_eq!(p.finalize(), batched, "len {len}");
         }
     }
 }
