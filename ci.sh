@@ -31,6 +31,18 @@ echo "==> bench-report --check BENCH_substrate.json"
 # The tracked perf trajectory must exist and be well-formed.
 ./target/release/bench-report --check BENCH_substrate.json
 
+if [ "${GFWSIM_BENCH_DEBUG_ASSERT:-0}" = "1" ]; then
+    echo "==> bench-report rebuild with debug assertions (GFWSIM_BENCH_DEBUG_ASSERT=1)"
+    # Opt-in paranoia mode: rerun the perf smoke with debug assertions
+    # compiled into the release profile, so invariant checks inside the
+    # hot paths fire under benchmark-shaped load. Separate target dir —
+    # a RUSTFLAGS change would invalidate the main release cache.
+    CARGO_TARGET_DIR=target/dbgassert RUSTFLAGS="-C debug-assertions=on" \
+        cargo build -q --release -p bench
+    ./target/dbgassert/release/bench-report --quick --out target/BENCH_dbgassert.json > /dev/null
+    ./target/dbgassert/release/bench-report --check target/BENCH_dbgassert.json
+fi
+
 echo "==> crypto fast-path differential properties"
 # Batched ChaCha20/Poly1305, tabled GHASH and the zero-copy codec must
 # stay byte-identical to the scalar/Vec reference paths.
@@ -39,6 +51,15 @@ cargo test -q -p shadowsocks --test wire_props
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace
+
+echo "==> release tests with overflow checks (hot-path crates)"
+# Release builds wrap integer arithmetic silently; this gate reruns the
+# hot-path suites in release mode with overflow checks forced on, so
+# any bare add/mul/shift the W1 lint under-approximates still traps
+# here. Separate target dir — a RUSTFLAGS change would otherwise
+# invalidate the main release cache.
+CARGO_TARGET_DIR=target/ovf RUSTFLAGS="-C overflow-checks=on" \
+    cargo test -q --release -p sscrypto -p netsim -p gfw-core -p shadowsocks
 
 echo "==> exp-all --jobs 2 smoke (quick scale)"
 ./target/release/exp-all --jobs 2 --only fig2,fig10,table4 > /dev/null

@@ -1,9 +1,11 @@
 //! # gfw-lint — workspace invariant checker
 //!
-//! A dependency-free static-analysis tool for this workspace. It walks
-//! every `.rs` file and `Cargo.toml` under the repository root with a
-//! hand-rolled line/token scanner ([`scan`]) and enforces the project
-//! invariants as named, `file:line`-reported rules:
+//! A dependency-free static-analysis engine for this workspace. Every
+//! `.rs` file is run through a hand-rolled span lexer ([`lex`]) and an
+//! item-tree pass ([`items`]) recovering functions, impls, `#[cfg]`
+//! regions and `unsafe` sites; [`scan`] projects that onto per-line
+//! code/comment views, and [`callgraph`] builds the name-based call
+//! graph R1 walks. The rules, reported as `file:line` findings:
 //!
 //! | Rule | Invariant |
 //! |------|-----------|
@@ -15,6 +17,9 @@
 //! | `H1` | Member `Cargo.toml`s take every dependency via `workspace = true`; versions live only in the root `[workspace.dependencies]`. |
 //! | `T1` | Thread primitives (`std::thread`, `thread::spawn`/`scope`/`Builder`, `std::sync::mpsc`, `rayon`) appear only in `experiments::runner`; the simulation crates (`core`, `netsim`, `probesim`, `trafficgen`, `defense`, `shadowsocks`, `sscrypto`) and the rest of `experiments` stay single-threaded-deterministic. |
 //! | `T2` | `BinaryHeap` appears only in `netsim::eventq` (the timer wheel's far-future overflow store). Everything time-ordered routes through `netsim::eventq::EventQueue`; non-test code elsewhere in those same crates must not reintroduce a heap-based scheduler. |
+//! | `R1` | Determinism taint: no clock/entropy call or hash-ordered `HashMap`/`HashSet` iteration in any function reachable from an `impl Simulator` method, across every crate the sim can depend on (including `shadowsocks`, `sscrypto`, `analysis`). |
+//! | `U1` | Every non-test `unsafe` block/fn/impl carries an adjacent `// SAFETY:` comment, and per-crate unsafe-site counts stay within the `[unsafe-budget]` table of `lint-baseline.toml` (ratchet-down, like P1/A1). |
+//! | `W1` | In the hot-path modules (`sscrypto`, `netsim::eventq`, `gfw_core::passive`, `shadowsocks::wire`), bare `+`/`*`/`<<` (and their `=`-compounds) on integer state crossing a function boundary (params, `self` fields) must be `wrapping_*`/`checked_*`/`saturating_*` or carry an allow. |
 //!
 //! Individual findings can be suppressed with an inline escape —
 //! `// gfwlint: allow(D1)` on the offending line or alone on the line
@@ -23,14 +28,20 @@
 //!
 //! The binary (`cargo run -p gfw-lint`) exits 0 when clean, 1 on
 //! findings, 2 on usage or I/O errors, and supports `--json` (machine
-//! output), `--fix` (mechanical repairs for D2/H1) and `--bless`
-//! (regenerate the P1 baseline, downward only).
+//! output, with panic/alloc sites attributed to their enclosing
+//! function), `--fix` (mechanical repairs for D2/H1), `--bless`
+//! (regenerate the P1/A1/U1 baselines, downward only) and
+//! `--explain RULE` (print a rule's rationale and escape hatch).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod explain;
 pub mod fix;
+pub mod items;
+pub mod lex;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -73,6 +84,21 @@ pub struct AllowUse {
     pub line: usize,
 }
 
+/// One budget-counted site (panic or allocation), attributed to its
+/// enclosing function via the item tree.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// File path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Qualified name of the enclosing function (module/impl path,
+    /// without the crate name), or `(file scope)` outside any fn.
+    pub function: String,
+    /// The counted token (`.unwrap()`, `.clone()`, …).
+    pub token: String,
+}
+
 /// The result of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -86,6 +112,13 @@ pub struct Report {
     pub panic_counts: BTreeMap<String, usize>,
     /// Current A1 heap-allocation counts per budgeted hot-path area.
     pub alloc_counts: BTreeMap<String, usize>,
+    /// Current U1 unsafe-site counts per crate (crates with zero sites
+    /// are omitted).
+    pub unsafe_counts: BTreeMap<String, usize>,
+    /// Every counted P1 panic site, attributed to its function.
+    pub panic_sites: Vec<Site>,
+    /// Every counted A1 allocation site, attributed to its function.
+    pub alloc_sites: Vec<Site>,
 }
 
 impl Report {
@@ -215,6 +248,9 @@ pub fn run(opts: &Options) -> Result<Report, String> {
     rules::h1_workspace_deps(&ws, &mut report)?;
     rules::t1_thread_isolation(&ws, &mut report);
     rules::t2_heap_isolation(&ws, &mut report);
+    callgraph::r1_determinism_taint(&ws, &mut report);
+    rules::u1_unsafe_audit(&ws, &mut report)?;
+    rules::w1_wrapping_audit(&ws, &mut report);
     Ok(report)
 }
 
@@ -228,6 +264,7 @@ pub fn bless(root: &Path) -> Result<String, String> {
     let ws = Workspace::load(root)?;
     let counts = rules::panic_counts(&ws);
     let allocs = rules::alloc_counts(&ws);
+    let unsafes = rules::unsafe_counts(&ws);
     if let Some(old) = baseline::Baseline::load(&ws.root)? {
         let mut raised = Vec::new();
         for (name, &count) in &counts {
@@ -244,6 +281,13 @@ pub fn bless(root: &Path) -> Result<String, String> {
                 }
             }
         }
+        for (name, &count) in &unsafes {
+            if let Some(&budget) = old.unsafe_budgets.get(name) {
+                if count > budget {
+                    raised.push(format!("unsafe {name}: {count} > {budget}"));
+                }
+            }
+        }
         if !raised.is_empty() {
             return Err(format!(
                 "refusing to bless: budgets only ratchet downward ({}); \
@@ -256,10 +300,12 @@ pub fn bless(root: &Path) -> Result<String, String> {
     let new = baseline::Baseline {
         budgets: counts.clone(),
         alloc_budgets: allocs.clone(),
+        unsafe_budgets: unsafes.clone(),
     };
     new.store(&ws.root)?;
     let mut summary: Vec<String> = counts.iter().map(|(n, c)| format!("{n} = {c}")).collect();
     summary.extend(allocs.iter().map(|(n, c)| format!("alloc {n} = {c}")));
+    summary.extend(unsafes.iter().map(|(n, c)| format!("unsafe {n} = {c}")));
     Ok(format!(
         "blessed {} ({})",
         baseline::BASELINE_FILE,

@@ -1,7 +1,7 @@
 //! `gfw-lint` command-line entry point.
 //!
 //! ```text
-//! gfw-lint [--root DIR] [--json] [--fix] [--bless]
+//! gfw-lint [--root DIR] [--json] [--fix] [--bless] [--explain RULE]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gfw_lint::{bless, fix, report, run, Options};
+use gfw_lint::{bless, explain, fix, report, run, Options};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +18,7 @@ struct Args {
     json: bool,
     fix: bool,
     bless: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -26,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         fix: false,
         bless: false,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -37,19 +39,29 @@ fn parse_args() -> Result<Args, String> {
                 let dir = it.next().ok_or("--root needs a directory argument")?;
                 args.root = Some(PathBuf::from(dir));
             }
+            "--explain" => {
+                let rule = it
+                    .next()
+                    .ok_or("--explain needs a rule ID (try `--explain R1`)")?;
+                args.explain = Some(rule);
+            }
             "--help" | "-h" => {
                 println!(
                     "gfw-lint: workspace invariant checker\n\n\
-                     USAGE: gfw-lint [--root DIR] [--json] [--fix] [--bless]\n\n\
+                     USAGE: gfw-lint [--root DIR] [--json] [--fix] [--bless] [--explain RULE]\n\n\
                      Rules: D1 determinism, D2 crate attributes, P1 panic budget,\n\
                      A1 allocation budget (crypto hot path), C1 protocol-constant\n\
                      consistency, H1 workspace dependencies, T1 thread isolation\n\
-                     (threads only in experiments::runner), T2 heap isolation.\n\
+                     (threads only in experiments::runner), T2 heap isolation,\n\
+                     R1 determinism taint (call-graph reachability from the\n\
+                     Simulator), U1 unsafe/SAFETY audit, W1 wrapping-arithmetic\n\
+                     discipline on the hot path.\n\
                      Suppress one finding with `// gfwlint: allow(RULE)`.\n\n\
-                     --root DIR  lint this workspace (default: nearest enclosing workspace)\n\
-                     --json      machine-readable output\n\
-                     --fix       apply mechanical fixes (D2 attributes, H1 rewrites)\n\
-                     --bless     regenerate the P1/A1 baselines (budgets only ratchet down)"
+                     --root DIR     lint this workspace (default: nearest enclosing workspace)\n\
+                     --json         machine-readable output (incl. per-function budget sites)\n\
+                     --fix          apply mechanical fixes (D2 attributes, H1 rewrites)\n\
+                     --bless        regenerate the P1/A1/U1 baselines (budgets only ratchet down)\n\
+                     --explain RULE print a rule's rationale and escape hatch"
                 );
                 std::process::exit(0);
             }
@@ -92,6 +104,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &args.explain {
+        return match explain::explain(rule) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("gfw-lint: unknown rule `{rule}`\n{}", explain::index());
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if args.bless {
         return match bless(&root) {

@@ -33,6 +33,14 @@ pub fn render_human(report: &Report) -> String {
             .collect();
         out.push_str(&format!("alloc sites (A1): {}\n", counts.join(" ")));
     }
+    if !report.unsafe_counts.is_empty() {
+        let counts: Vec<String> = report
+            .unsafe_counts
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect();
+        out.push_str(&format!("unsafe sites (U1): {}\n", counts.join(" ")));
+    }
     if report.is_clean() {
         out.push_str(&format!(
             "gfw-lint: clean ({} files scanned, {} allow escape(s) honored)\n",
@@ -91,12 +99,40 @@ pub fn render_json(report: &Report) -> String {
         }
         out.push_str(&format!("\n    {}: {}", json_str(name), count));
     }
+    out.push_str("\n  },\n  \"unsafe_counts\": {");
+    for (i, (name, count)) in report.unsafe_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {}", json_str(name), count));
+    }
+    out.push_str("\n  },\n  \"panic_sites\": [");
+    render_sites(&mut out, &report.panic_sites);
+    out.push_str("\n  ],\n  \"alloc_sites\": [");
+    render_sites(&mut out, &report.alloc_sites);
     out.push_str(&format!(
-        "\n  }},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        "\n  ],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
         report.files_scanned,
         report.is_clean()
     ));
     out
+}
+
+/// Render the budget-site arrays: each site names its enclosing
+/// function, so `--json` consumers can aggregate per-function.
+fn render_sites(out: &mut String, sites: &[crate::Site]) {
+    for (i, s) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"function\": {}, \"token\": {}}}",
+            json_str(&s.file),
+            s.line,
+            json_str(&s.function),
+            json_str(&s.token)
+        ));
+    }
 }
 
 /// JSON string literal with escaping.

@@ -1,13 +1,17 @@
-//! The six lint rules.
+//! The lint rules (R1 lives in [`crate::callgraph`]).
 //!
 //! Each rule pushes [`Finding`]s (and honored allow-escapes) into the
-//! shared [`Report`]. All rules operate on the comment/string-stripped
+//! shared [`Report`]. Token rules operate on the comment/string-stripped
 //! `code` text produced by [`crate::scan`], so tokens inside comments,
-//! doc examples rendered as comments, or string literals never fire.
+//! doc examples rendered as comments, or string literals never fire;
+//! the structural rules (U1, W1) and the budget attribution query the
+//! per-file item tree ([`crate::items`]) directly.
 
 use crate::baseline::{Baseline, BASELINE_FILE};
+use crate::items::{is_int_type, UnsafeKind};
+use crate::lex::TokKind;
 use crate::scan::{has_token, SourceFile};
-use crate::{AllowUse, Finding, Report, Workspace};
+use crate::{AllowUse, Finding, Report, Site, Workspace};
 use std::collections::BTreeMap;
 
 /// Crates whose behaviour must be a pure function of the seed (D1).
@@ -268,7 +272,17 @@ pub fn t2_heap_isolation(ws: &Workspace, report: &mut Report) {
 }
 
 /// D2: every crate root file carries both lint attributes.
+///
+/// A crate with a non-zero `[unsafe-budget]` entry cannot use
+/// `#![forbid(unsafe_code)]` (forbid rejects item-level overrides), so
+/// for those crates `#![deny(unsafe_code)]` satisfies the rule — the
+/// audited islands then go through `#[allow(unsafe_code)]` and rule U1.
 pub fn d2_crate_attrs(ws: &Workspace, report: &mut Report) {
+    let unsafe_budgets = Baseline::load(&ws.root)
+        .ok()
+        .flatten()
+        .map(|b| b.unsafe_budgets)
+        .unwrap_or_default();
     let mut roots: Vec<(String, String)> = Vec::new(); // (crate label, root file rel)
     if ws.sources.contains_key("src/lib.rs") {
         roots.push(("workspace root".into(), "src/lib.rs".into()));
@@ -284,8 +298,15 @@ pub fn d2_crate_attrs(ws: &Workspace, report: &mut Report) {
     }
     for (label, rel) in roots {
         let file = &ws.sources[&rel];
+        let budgeted_unsafe = unsafe_budgets.get(&label).copied().unwrap_or(0) > 0;
         for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-            let present = file.lines.iter().any(|l| l.code.contains(attr));
+            let mut present = file.lines.iter().any(|l| l.code.contains(attr));
+            if !present && attr.contains("unsafe_code") && budgeted_unsafe {
+                present = file
+                    .lines
+                    .iter()
+                    .any(|l| l.code.contains("#![deny(unsafe_code)]"));
+            }
             if !present {
                 report.findings.push(Finding {
                     rule: "D2",
@@ -321,10 +342,45 @@ pub fn panic_counts(ws: &Workspace) -> BTreeMap<String, usize> {
     counts
 }
 
+/// Collect budget-counted sites under `prefix`, attributed to their
+/// enclosing function via the item tree.
+fn attributed_sites(ws: &Workspace, prefix: &str, tokens: &[&str], rule: &str) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for file in ws.sources_under(prefix) {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test || line.allows.iter().any(|a| a == rule) {
+                continue;
+            }
+            for token in tokens {
+                for _ in 0..count_token(&line.code, token) {
+                    let function = file
+                        .items
+                        .fn_at_line(idx + 1)
+                        .map(|f| f.qual.clone())
+                        .unwrap_or_else(|| "(file scope)".to_string());
+                    sites.push(Site {
+                        file: file.rel.clone(),
+                        line: idx + 1,
+                        function,
+                        token: token.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    sites
+}
+
 /// P1: per-crate panic budget against the checked-in baseline.
 pub fn p1_panic_budget(ws: &Workspace, report: &mut Report) -> Result<(), String> {
     let counts = panic_counts(ws);
     report.panic_counts = counts.clone();
+    for crate_name in PANIC_BUDGET_CRATES {
+        let prefix = format!("crates/{crate_name}/src/");
+        report
+            .panic_sites
+            .extend(attributed_sites(ws, &prefix, PANIC_TOKENS, "P1"));
+    }
     // Record honored escapes.
     for crate_name in PANIC_BUDGET_CRATES {
         let prefix = format!("crates/{crate_name}/src/");
@@ -436,6 +492,11 @@ pub fn a1_alloc_budget(ws: &Workspace, report: &mut Report) -> Result<(), String
     report.alloc_counts = counts.clone();
     if counts.is_empty() {
         return Ok(());
+    }
+    for &(_, prefix, _) in ALLOC_BUDGET_AREAS {
+        report
+            .alloc_sites
+            .extend(attributed_sites(ws, prefix, ALLOC_TOKENS, "A1"));
     }
     // Record honored escapes.
     for &(_, prefix, _) in ALLOC_BUDGET_AREAS {
@@ -920,6 +981,414 @@ fn parse_int_const(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
         .take_while(|c| c.is_ascii_digit())
         .collect();
     Some((digits.parse().ok()?, idx + 1))
+}
+
+// ---------------------------------------------------------------------------
+// U1: unsafe audit.
+
+/// Count non-test `unsafe` sites (blocks, fns, impls) per crate. Crates
+/// with zero sites are omitted — the `[unsafe-budget]` table only lists
+/// crates that actually carry unsafe code.
+pub fn unsafe_counts(ws: &Workspace) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for c in &ws.crates {
+        let prefix = format!("crates/{}/src/", c.name);
+        let count: usize = ws
+            .sources_under(&prefix)
+            .map(|f| f.items.unsafe_sites.iter().filter(|u| !u.in_test).count())
+            .sum();
+        if count > 0 {
+            counts.insert(c.name.clone(), count);
+        }
+    }
+    counts
+}
+
+/// Does the unsafe site at 1-based `line` have an adjacent `// SAFETY:`
+/// comment — trailing on the same line, or on the contiguous run of
+/// comment-only lines directly above?
+fn has_safety_comment(file: &SourceFile, line: usize) -> bool {
+    let idx = line - 1;
+    if file
+        .lines
+        .get(idx)
+        .is_some_and(|l| l.comment.contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &file.lines[i];
+        if !l.code.trim().is_empty() {
+            // An attribute line between the comment and the site is
+            // fine; real code is not.
+            if l.code.trim_start().starts_with("#[") {
+                continue;
+            }
+            return false;
+        }
+        if l.comment.contains("SAFETY:") {
+            return true;
+        }
+        if l.comment.trim().is_empty() && l.raw.trim().is_empty() {
+            return false; // blank line breaks adjacency
+        }
+    }
+    false
+}
+
+/// U1: every non-test `unsafe` site needs a `// SAFETY:` comment, and
+/// per-crate site counts stay within `[unsafe-budget]` (ratchet-down).
+///
+/// This exists *ahead* of the ROADMAP-4 SIMD work on purpose: the first
+/// `unsafe` block to land in `sscrypto` arrives into a workspace where
+/// the audit discipline is already enforced, not retrofitted.
+pub fn u1_unsafe_audit(ws: &Workspace, report: &mut Report) -> Result<(), String> {
+    let counts = unsafe_counts(ws);
+    report.unsafe_counts = counts.clone();
+
+    // Per-site SAFETY comments.
+    for c in &ws.crates {
+        let prefix = format!("crates/{}/src/", c.name);
+        let rels: Vec<String> = ws.sources_under(&prefix).map(|f| f.rel.clone()).collect();
+        for rel in rels {
+            let file = &ws.sources[&rel];
+            let missing: Vec<(usize, UnsafeKind)> = file
+                .items
+                .unsafe_sites
+                .iter()
+                .filter(|u| !u.in_test && !has_safety_comment(file, u.line))
+                .map(|u| (u.line, u.kind))
+                .collect();
+            for (line, kind) in missing {
+                if allowed(report, "U1", &ws.sources[&rel], line - 1) {
+                    continue;
+                }
+                let what = match kind {
+                    UnsafeKind::Block => "unsafe block",
+                    UnsafeKind::Fn => "unsafe fn",
+                    UnsafeKind::Impl => "unsafe impl",
+                };
+                report.findings.push(Finding {
+                    rule: "U1",
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "{what} without an adjacent `// SAFETY:` comment; state the \
+                         invariant that makes this sound (same line or the comment \
+                         block directly above)"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Per-crate budgets.
+    if counts.is_empty() {
+        return Ok(());
+    }
+    let Some(baseline) = Baseline::load(&ws.root)? else {
+        return Ok(()); // P1 already reports the missing baseline file
+    };
+    for (name, &count) in &counts {
+        match baseline.unsafe_budgets.get(name) {
+            None => report.findings.push(Finding {
+                rule: "U1",
+                file: BASELINE_FILE.to_string(),
+                line: 0,
+                message: format!(
+                    "crate `{name}` has {count} unsafe site(s) but no [unsafe-budget] \
+                     entry; add one by hand, then `gfw-lint --bless`"
+                ),
+            }),
+            Some(&budget) if count > budget => report.findings.push(Finding {
+                rule: "U1",
+                file: format!("crates/{name}/src/lib.rs"),
+                line: 1,
+                message: format!(
+                    "crate `{name}` has {count} unsafe site(s) in non-test code, over \
+                     its budget of {budget}; remove some or raise the budget by hand \
+                     in {BASELINE_FILE}"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// W1: wrapping-arithmetic discipline on the hot path.
+
+/// The designated hot-path modules: release builds wrap silently here,
+/// and these run millions of iterations per simulated experiment.
+pub const W1_HOT_PATHS: &[&str] = &[
+    "crates/sscrypto/src/",
+    "crates/netsim/src/eventq.rs",
+    "crates/core/src/passive.rs",
+    "crates/shadowsocks/src/wire.rs",
+];
+
+/// Is `ty` text a float type?
+fn is_float_type(ty: &str) -> bool {
+    let t = ty.trim().trim_start_matches('&').trim();
+    t.starts_with("f32") || t.starts_with("f64")
+}
+
+/// W1: in hot-path non-test functions, bare `+`/`*`/`<<` (and their
+/// `=`-compounds) where an operand is an integral-typed parameter or
+/// `self` field must be spelled `wrapping_*` / `checked_*` /
+/// `saturating_*` or carry an allow.
+///
+/// The operand filter is the rule's precision lever: arithmetic on
+/// locals, constants and floats is never flagged — only integer state
+/// that *crosses the function boundary* (params, fields), which is
+/// exactly the state that accumulates across calls and overflows after
+/// the millionth packet instead of in the unit test.
+pub fn w1_wrapping_audit(ws: &Workspace, report: &mut Report) {
+    let mut rels: Vec<String> = Vec::new();
+    for prefix in W1_HOT_PATHS {
+        for f in ws.sources_under(prefix) {
+            if !rels.contains(&f.rel) {
+                rels.push(f.rel.clone());
+            }
+        }
+    }
+    rels.sort();
+    for rel in rels {
+        let file = &ws.sources[&rel];
+        let hits = w1_scan_file(file);
+        for (line, op, operand, ty) in hits {
+            if allowed(report, "W1", &ws.sources[&rel], line - 1) {
+                continue;
+            }
+            let alt = match op {
+                "+" | "+=" => "wrapping_add / checked_add / saturating_add",
+                "*" | "*=" => "wrapping_mul / checked_mul / saturating_mul",
+                _ => "wrapping_shl / checked_shl",
+            };
+            report.findings.push(Finding {
+                rule: "W1",
+                file: rel.clone(),
+                line,
+                message: format!(
+                    "bare `{op}` on hot-path integer state `{operand}` ({ty}) crossing \
+                     a function boundary; in release builds this wraps silently — say \
+                     what you mean ({alt}) or justify with `// gfwlint: allow(W1)`"
+                ),
+            });
+        }
+    }
+}
+
+/// Scan one file's non-test fn bodies for W1 hits:
+/// `(line, op, operand, operand type)`.
+fn w1_scan_file(file: &SourceFile) -> Vec<(usize, &'static str, String, String)> {
+    let mut hits = Vec::new();
+    let src = &file.text;
+    // Significant token indices across the file; per-fn filtering below.
+    let sig: Vec<usize> = (0..file.toks.len())
+        .filter(|&i| !file.toks[i].is_trivia())
+        .collect();
+    for f in &file.items.fns {
+        if f.in_test || f.body.is_empty() {
+            continue;
+        }
+        let int_params: BTreeMap<&str, &str> = f
+            .params
+            .iter()
+            .filter(|(_, ty)| is_int_type(ty))
+            .map(|(n, ty)| (n.as_str(), ty.as_str()))
+            .collect();
+        let float_params: Vec<&str> = f
+            .params
+            .iter()
+            .filter(|(_, ty)| is_float_type(ty))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        // Positions (into `sig`) of this fn's body tokens.
+        let body: Vec<usize> = sig
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ti)| f.body.contains(&ti))
+            .map(|(si, _)| si)
+            .collect();
+        let (Some(&first), Some(&last)) = (body.first(), body.last()) else {
+            continue;
+        };
+        let mut si = first;
+        while si <= last {
+            let ti = sig[si];
+            let tok = &file.toks[ti];
+            let (op, width): (&'static str, usize) = match tok.kind {
+                TokKind::Punct('+') => {
+                    if adjacent(file, &sig, si, '=') {
+                        ("+=", 2)
+                    } else {
+                        ("+", 1)
+                    }
+                }
+                TokKind::Punct('*') => {
+                    // Binary only: previous significant token must be a
+                    // value-ending token, not `(`/`,`/`=`/… (deref) or
+                    // `*const`/`*mut` (raw pointer types).
+                    let prev_ok = si > 0
+                        && matches!(
+                            file.toks[sig[si - 1]].kind,
+                            TokKind::Ident
+                                | TokKind::Int
+                                | TokKind::Float
+                                | TokKind::Punct(')')
+                                | TokKind::Punct(']')
+                        );
+                    if !prev_ok {
+                        si += 1;
+                        continue;
+                    }
+                    if adjacent(file, &sig, si, '=') {
+                        ("*=", 2)
+                    } else {
+                        ("*", 1)
+                    }
+                }
+                TokKind::Punct('<') => {
+                    // `<<` = two adjacent `<`; `<<=` when a `=` follows.
+                    if !adjacent(file, &sig, si, '<') {
+                        si += 1;
+                        continue;
+                    }
+                    if adjacent(file, &sig, si + 1, '=') {
+                        ("<<=", 3)
+                    } else {
+                        ("<<", 2)
+                    }
+                }
+                _ => {
+                    si += 1;
+                    continue;
+                }
+            };
+
+            // Resolve operands. For compounds only the LHS is state.
+            let left = operand_left(file, src, &sig, si);
+            let right = if op.ends_with('=') {
+                None
+            } else {
+                operand_right(file, src, &sig, si + width - 1)
+            };
+            let mut float_involved = matches!(right, Some(Operand::FloatLit));
+            let mut flagged: Option<(String, String)> = None;
+            for opnd in [&left, &right] {
+                match opnd {
+                    Some(Operand::Chain(chain)) => {
+                        if let Some(base) = chain.strip_prefix("self.") {
+                            if let Some(ty) = file.items.int_fields.get(base) {
+                                flagged = Some((chain.clone(), ty.clone()));
+                            }
+                        } else if let Some(ty) = int_params.get(chain.as_str()) {
+                            flagged = Some((chain.clone(), ty.to_string()));
+                        } else if float_params.contains(&chain.as_str()) {
+                            float_involved = true;
+                        }
+                    }
+                    Some(Operand::FloatLit) => float_involved = true,
+                    _ => {}
+                }
+            }
+            if !float_involved {
+                if let Some((operand, ty)) = flagged {
+                    hits.push((tok.line, op, operand, ty));
+                }
+            }
+            si += width.max(1);
+        }
+    }
+    hits.sort();
+    hits.dedup();
+    hits
+}
+
+/// Is the significant token after `si` the punct `c`, with no gap in
+/// the source (so `+ =` never reads as `+=`)?
+fn adjacent(file: &SourceFile, sig: &[usize], si: usize, c: char) -> bool {
+    let (Some(&a), Some(&b)) = (sig.get(si), sig.get(si + 1)) else {
+        return false;
+    };
+    file.toks[b].kind == TokKind::Punct(c) && file.toks[a].end == file.toks[b].start
+}
+
+enum Operand {
+    /// `name` or `self.field` (the resolvable shapes).
+    Chain(String),
+    /// A float literal: the whole expression is float arithmetic.
+    FloatLit,
+    /// Anything else (unresolved).
+    Other,
+}
+
+/// Resolve the operand ending just before the op at `sig[si]`.
+fn operand_left(file: &SourceFile, src: &str, sig: &[usize], si: usize) -> Option<Operand> {
+    if si == 0 {
+        return None;
+    }
+    let t = &file.toks[sig[si - 1]];
+    match t.kind {
+        TokKind::Float => Some(Operand::FloatLit),
+        TokKind::Int => Some(Operand::Other),
+        TokKind::Ident => {
+            let name = t.text(src);
+            // `self.field` / `x.y` chains: look two tokens further back.
+            if si >= 3
+                && file.toks[sig[si - 2]].kind == TokKind::Punct('.')
+                && file.toks[sig[si - 3]].kind == TokKind::Ident
+            {
+                let base = file.toks[sig[si - 3]].text(src);
+                // Only single-step chains resolve; deeper ones are Other.
+                let prev_prev_dot = si >= 4 && file.toks[sig[si - 4]].kind == TokKind::Punct('.');
+                if prev_prev_dot {
+                    return Some(Operand::Other);
+                }
+                return Some(Operand::Chain(format!("{base}.{name}")));
+            }
+            // A bare ident, not itself a field of something else.
+            Some(Operand::Chain(name.to_string()))
+        }
+        _ => Some(Operand::Other),
+    }
+}
+
+/// Resolve the operand starting just after the op at `sig[si]`.
+fn operand_right(file: &SourceFile, src: &str, sig: &[usize], si: usize) -> Option<Operand> {
+    let t = &file.toks[*sig.get(si + 1)?];
+    match t.kind {
+        TokKind::Float => Some(Operand::FloatLit),
+        TokKind::Int => Some(Operand::Other),
+        TokKind::Ident => {
+            let name = t.text(src);
+            if name == "self" {
+                // `self.field` on the right.
+                if let (Some(&d), Some(&f)) = (sig.get(si + 2), sig.get(si + 3)) {
+                    if file.toks[d].kind == TokKind::Punct('.')
+                        && file.toks[f].kind == TokKind::Ident
+                    {
+                        return Some(Operand::Chain(format!("self.{}", file.toks[f].text(src))));
+                    }
+                }
+                return Some(Operand::Other);
+            }
+            // `name.method()` chains on the right stay unresolved
+            // unless it's a plain ident followed by a non-`.` token.
+            if sig
+                .get(si + 2)
+                .is_some_and(|&d| file.toks[d].kind == TokKind::Punct('.'))
+            {
+                return Some(Operand::Other);
+            }
+            Some(Operand::Chain(name.to_string()))
+        }
+        _ => Some(Operand::Other),
+    }
 }
 
 #[cfg(test)]

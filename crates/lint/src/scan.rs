@@ -1,20 +1,24 @@
-//! A small hand-rolled Rust source scanner.
+//! Source scanning: per-line views derived from the real lexer.
 //!
-//! The rules in this linter are token-level, not AST-level, so all they
-//! need from a source file is, per line:
+//! Historically this module was a line-oriented state machine that
+//! carried comment/string state across lines and guessed at
+//! `#[cfg(test)]` regions by brace counting. It is now a thin
+//! projection of the [`crate::lex`] token stream and the
+//! [`crate::items`] item tree:
 //!
-//! * the *code text* — the line with comments and string/char literal
-//!   contents blanked out, so a `thread_rng` inside a doc comment or a
-//!   format string never trips a rule;
-//! * whether the line sits inside a `#[cfg(test)]` region (the panic
-//!   budget only counts non-test code);
-//! * any `// gfwlint: allow(RULE)` escapes attached to the line.
-//!
-//! The scanner is a line-oriented state machine that carries block
-//! comment depth and string state across lines, and understands raw
-//! strings (`r#"…"#`), byte strings and the char-literal/lifetime
-//! ambiguity well enough for this codebase.
+//! * the *code text* per line — comments and string/char literal
+//!   contents blanked out (columns preserved), so a `thread_rng` inside
+//!   a doc comment or a format string never trips a token rule;
+//! * the *comment text* per line, for `// gfwlint: allow(RULE)` escapes
+//!   and the U1 `// SAFETY:` audit;
+//! * whether the line sits inside a `#[cfg(test)]`-gated item —
+//!   **exact**, including nested `mod tests` and `#[cfg(all(test, …))]`
+//!   forms, because it comes from the item tree rather than a regex;
+//! * the full token stream and item tree themselves, which the R1/U1/W1
+//!   rules query directly.
 
+use crate::items::{self, ItemTree};
+use crate::lex::{self, Tok, TokKind};
 use std::path::Path;
 
 /// One scanned source line.
@@ -26,6 +30,8 @@ pub struct Line {
     /// Columns are preserved, so byte offsets into `code` line up with
     /// `raw`.
     pub code: String,
+    /// The comment text on this line (contents of `//`/`/* */` pieces).
+    pub comment: String,
     /// True when the line is inside a `#[cfg(test)]`-gated item.
     pub in_test: bool,
     /// Rule IDs suppressed on this line via `// gfwlint: allow(...)`.
@@ -39,30 +45,82 @@ pub struct SourceFile {
     pub rel: String,
     /// The scanned lines, 0-indexed (line numbers in findings are 1-based).
     pub lines: Vec<Line>,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum StrState {
-    None,
-    /// Inside a normal `"…"` (or `b"…"`) string.
-    Normal,
-    /// Inside a raw string with this many `#`s.
-    Raw(usize),
+    /// The full source text.
+    pub text: String,
+    /// The token stream for `text` (spans tile the source exactly).
+    pub toks: Vec<Tok>,
+    /// The structural item tree (fns, cfg regions, unsafe sites).
+    pub items: ItemTree,
 }
 
 impl SourceFile {
     /// Scan `text` as the contents of `rel`.
     pub fn scan(rel: &str, text: &str) -> SourceFile {
-        let mut lines = Vec::new();
-        let mut depth = 0usize; // block comment nesting
-        let mut strst = StrState::None;
-        let mut pending_allows: Vec<String> = Vec::new();
+        let toks = lex::lex(text);
+        let items = items::build(text, &toks);
 
-        for raw in text.lines() {
-            let (code, comment) = strip_line(raw, &mut depth, &mut strst);
+        // Blank a copy of the source: comments erased entirely, string
+        // and char literal *contents* erased (delimiters kept so quoted
+        // regions stay visually delimited). Newlines always survive so
+        // the line structure is unchanged.
+        let mut blanked: Vec<u8> = text.as_bytes().to_vec();
+        let blank = |buf: &mut [u8], range: std::ops::Range<usize>| {
+            for b in &mut buf[range] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        };
+        let mut comments: Vec<(usize, String)> = Vec::new(); // (start line, text)
+        for t in &toks {
+            match t.kind {
+                TokKind::LineComment | TokKind::BlockComment => {
+                    comments.push((t.line, t.text(text).to_string()));
+                    blank(&mut blanked, t.start..t.end);
+                }
+                TokKind::Str => {
+                    // Keep the opening delimiter's quote and the final
+                    // closing quote; blank the interior.
+                    let s = t.text(text);
+                    let open = s.find('"').map(|p| t.start + p);
+                    let close = s.rfind('"').map(|p| t.start + p);
+                    blank(&mut blanked, t.start..t.end);
+                    if let Some(o) = open {
+                        blanked[o] = b'"';
+                    }
+                    if let (Some(o), Some(c)) = (open, close) {
+                        if c > o {
+                            blanked[c] = b'"';
+                        }
+                    }
+                }
+                TokKind::Char => blank(&mut blanked, t.start..t.end),
+                _ => {}
+            }
+        }
+        let blanked = String::from_utf8(blanked).unwrap_or_else(|_| {
+            // Blanking only rewrites ASCII bytes in-place, so this is
+            // unreachable for valid input; fall back to the raw text.
+            text.to_string()
+        });
+
+        // Distribute comment text across the lines each comment spans.
+        let n_lines = text.lines().count();
+        let mut per_line_comment = vec![String::new(); n_lines];
+        for (start_line, ctext) in comments {
+            for (off, piece) in ctext.split('\n').enumerate() {
+                if let Some(slot) = per_line_comment.get_mut(start_line - 1 + off) {
+                    slot.push_str(piece);
+                }
+            }
+        }
+
+        let mut lines = Vec::with_capacity(n_lines);
+        let mut pending_allows: Vec<String> = Vec::new();
+        for (idx, (raw, code)) in text.lines().zip(blanked.lines()).enumerate() {
+            let comment = std::mem::take(&mut per_line_comment[idx]);
             let mut allows = parse_allows(&comment);
-            let code_blank = code.trim().is_empty();
-            if code_blank {
+            if code.trim().is_empty() {
                 // A comment-only line: its allows apply to the next code line.
                 pending_allows.append(&mut allows);
             } else {
@@ -70,18 +128,20 @@ impl SourceFile {
             }
             lines.push(Line {
                 raw: raw.to_string(),
-                code,
-                in_test: false,
+                code: code.to_string(),
+                comment,
+                in_test: items.line_in_test(idx + 1),
                 allows,
             });
         }
 
-        let mut file = SourceFile {
+        SourceFile {
             rel: rel.to_string(),
             lines,
-        };
-        mark_test_regions(&mut file);
-        file
+            text: text.to_string(),
+            toks,
+            items,
+        }
     }
 
     /// Load and scan a file on disk. `root` is the workspace root used
@@ -95,130 +155,6 @@ impl SourceFile {
             .replace('\\', "/");
         Ok(SourceFile::scan(&rel, &text))
     }
-}
-
-/// Strip one line, updating cross-line state. Returns (code, comment-text).
-fn strip_line(raw: &str, depth: &mut usize, strst: &mut StrState) -> (String, String) {
-    let chars: Vec<char> = raw.chars().collect();
-    let n = chars.len();
-    let mut out = vec![' '; n];
-    let mut comment = String::new();
-    let mut i = 0;
-    while i < n {
-        if *depth > 0 {
-            if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
-                *depth += 1;
-                comment.push_str("/*");
-                i += 2;
-            } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
-                *depth -= 1;
-                i += 2;
-            } else {
-                comment.push(chars[i]);
-                i += 1;
-            }
-            continue;
-        }
-        match *strst {
-            StrState::Normal => {
-                if chars[i] == '\\' {
-                    i += 2;
-                } else if chars[i] == '"' {
-                    *strst = StrState::None;
-                    out[i] = '"';
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            StrState::Raw(hashes) => {
-                if chars[i] == '"'
-                    && chars[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes
-                {
-                    *strst = StrState::None;
-                    out[i] = '"';
-                    i += 1 + hashes;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            StrState::None => {}
-        }
-        let c = chars[i];
-        // Line comment.
-        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-            comment.extend(&chars[i..]);
-            break;
-        }
-        // Block comment.
-        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-            *depth = 1;
-            i += 2;
-            continue;
-        }
-        // Raw / byte string prefixes: r"…", r#"…"#, br"…", b"…".
-        if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
-            // Position of the would-be opening quote and whether an `r`
-            // was part of the prefix.
-            let (j, is_raw) = match (c, chars.get(i + 1)) {
-                ('b', Some('r')) => (i + 2, true),
-                ('b', _) => (i + 1, false),
-                _ => (i + 1, true),
-            };
-            let hashes = if is_raw {
-                chars[j.min(n)..].iter().take_while(|&&c| c == '#').count()
-            } else {
-                0
-            };
-            let k = j + hashes;
-            if k < n && chars[k] == '"' {
-                out[k] = '"';
-                *strst = if is_raw {
-                    StrState::Raw(hashes)
-                } else {
-                    StrState::Normal
-                };
-                i = k + 1;
-                continue;
-            }
-        }
-        // Plain string.
-        if c == '"' {
-            out[i] = '"';
-            *strst = StrState::Normal;
-            i += 1;
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == '\'' {
-            if i + 1 < n && chars[i + 1] == '\\' {
-                // Escaped char literal: skip to closing quote.
-                let mut j = i + 2;
-                while j < n && chars[j] != '\'' {
-                    j += 1;
-                }
-                i = j + 1;
-                continue;
-            }
-            if i + 2 < n && chars[i + 2] == '\'' {
-                // 'x' char literal.
-                i += 3;
-                continue;
-            }
-            // Lifetime: drop the quote, keep scanning the identifier.
-            i += 1;
-            continue;
-        }
-        out[i] = c;
-        i += 1;
-    }
-    (out.into_iter().collect(), comment)
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
 }
 
 /// Parse `gfwlint: allow(D1, P1)` escapes out of a comment.
@@ -240,44 +176,6 @@ fn parse_allows(comment: &str) -> Vec<String> {
         }
     }
     out
-}
-
-/// Mark lines inside `#[cfg(test)]`-gated items. A region starts at the
-/// attribute and runs to the close of the brace block that follows it.
-fn mark_test_regions(file: &mut SourceFile) {
-    let n = file.lines.len();
-    let mut i = 0;
-    while i < n {
-        if file.lines[i].code.contains("#[cfg(test)]") {
-            // Find the opening brace, then its match.
-            let mut depth = 0i32;
-            let mut opened = false;
-            let mut j = i;
-            'outer: while j < n {
-                for c in file.lines[j].code.chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                    if opened && depth == 0 {
-                        break 'outer;
-                    }
-                }
-                j += 1;
-            }
-            let end = j.min(n - 1);
-            for line in &mut file.lines[i..=end] {
-                line.in_test = true;
-            }
-            i = end + 1;
-        } else {
-            i += 1;
-        }
-    }
 }
 
 /// Does `code` contain `token` at an identifier boundary on both sides?
@@ -320,6 +218,18 @@ mod tests {
     }
 
     #[test]
+    fn comment_text_is_preserved_per_line() {
+        let f = SourceFile::scan(
+            "t.rs",
+            "// SAFETY: bounds checked above\nlet x = 1; // trailing\n/* a\nb */ let y = 2;\n",
+        );
+        assert!(f.lines[0].comment.contains("SAFETY: bounds checked"));
+        assert!(f.lines[1].comment.contains("trailing"));
+        assert!(f.lines[2].comment.contains("a"));
+        assert!(f.lines[3].comment.contains("b"));
+    }
+
+    #[test]
     fn strips_string_contents_including_raw_and_multiline() {
         let src = "let a = \"thread_rng\";\nlet b = r#\"Instant::now\"#;\nlet c = \"spans\nlines thread_rng\";\nlet d = 1;\n";
         let f = SourceFile::scan("t.rs", src);
@@ -357,6 +267,27 @@ mod tests {
         assert!(f.lines[3].in_test);
         assert!(f.lines[4].in_test);
         assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn nested_and_all_cfg_test_regions_are_exact() {
+        let src = "\
+mod m {
+    #[cfg(test)]
+    mod tests {
+        mod inner { fn b() { x.unwrap(); } }
+    }
+    fn live() { y.unwrap(); }
+}
+#[cfg(all(test, feature = \"slow\"))]
+fn gated() { z.unwrap(); }
+";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test); // nested module body
+        assert!(!f.lines[5].in_test); // live() is NOT test code
+        assert!(f.lines[7].in_test); // all(test, …) attribute line
+        assert!(f.lines[8].in_test);
     }
 
     #[test]

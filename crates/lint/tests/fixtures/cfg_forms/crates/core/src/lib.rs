@@ -1,0 +1,39 @@
+//! Fixture: panic sites inside nested cfg(test) regions must not count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parse a numeric config value; the one budgeted panic site.
+pub fn parse(v: &str) -> u32 {
+    v.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    mod nested {
+        use super::*;
+
+        #[test]
+        fn parses() {
+            assert_eq!(parse("4"), 4);
+            let x: u32 = "7".parse().unwrap();
+            assert_eq!(x, 7);
+        }
+    }
+
+    #[test]
+    fn after_the_nested_module_is_still_test_code() {
+        let y: u32 = "9".parse().unwrap();
+        assert_eq!(y, 9);
+    }
+}
+
+#[cfg(all(test, feature = "slow"))]
+mod slow_tests {
+    #[test]
+    fn conjunctive_cfg_is_test_only() {
+        Vec::<u32>::new().pop().unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture sim crate whose simulator reaches nondeterminism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;

@@ -1,0 +1,31 @@
+//! The simulator: taints everything it calls (rule R1).
+
+use std::collections::HashMap;
+
+/// Detector simulator state.
+pub struct Simulator {
+    /// Per-flow byte counters keyed by connection id.
+    pub flows: HashMap<u32, u64>,
+}
+
+impl Simulator {
+    /// One step: the total is order-neutral, the trace dump is not.
+    pub fn step(&mut self) -> u64 {
+        let total: u64 = self.flows.values().sum();
+        for (id, bytes) in self.flows.iter() {
+            record(*id, *bytes);
+        }
+        total + stamp_ms()
+    }
+}
+
+/// Record one flow observation in the trace.
+fn record(id: u32, bytes: u64) {
+    let _ = (id, bytes);
+    let _ = trace_ms();
+}
+
+/// Helper that launders wall-clock time through a non-sim crate.
+fn stamp_ms() -> u64 {
+    now_ms()
+}

@@ -1,0 +1,17 @@
+//! Fixture crypto crate with a wall-clock helper (reachable -> R1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Milliseconds since the epoch — nondeterministic.
+pub fn now_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_millis() as u64)
+}
+
+/// Diagnostic-only timer, waived with a justification.
+pub fn trace_ms() -> u64 {
+    // gfwlint: allow(R1) -- diagnostic trace only, never in sim output
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,10 @@
+//! Fixture wire crate with an audited unsafe site but no budget entry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reinterpret four bytes, documented.
+pub fn read_u32(p: &[u8; 4]) -> u32 {
+    // SAFETY: the array reference guarantees four readable bytes.
+    unsafe { core::ptr::read_unaligned(p.as_ptr().cast::<u32>()) }
+}

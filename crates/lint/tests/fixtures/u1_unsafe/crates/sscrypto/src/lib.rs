@@ -1,0 +1,6 @@
+//! Fixture crypto crate carrying audited unsafe code.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simd;

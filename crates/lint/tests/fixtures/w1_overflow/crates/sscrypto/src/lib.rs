@@ -1,0 +1,6 @@
+//! Fixture hot-path crate with overflow-prone counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stream;

@@ -1,0 +1,33 @@
+//! Stream cipher state: rule W1 audits its counter arithmetic.
+
+/// Keystream position state.
+pub struct State {
+    /// Consumed keystream bytes.
+    pub used: u64,
+    /// Smoothed throughput estimate (float math is exempt).
+    pub ewma: f64,
+}
+
+impl State {
+    /// Advance by `n` bytes.
+    pub fn advance(&mut self, n: u64) {
+        self.used += n;
+        let scaled = n * 4;
+        self.used = self.used.wrapping_add(scaled);
+        self.ewma = self.ewma * 0.5;
+        // gfwlint: allow(W1) -- caller bounds the shift to < 8 bits
+        self.used = self.used << 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_is_deliberate_in_tests() {
+        let mut s = State { used: u64::MAX, ewma: 0.0 };
+        s.used += 1;
+        assert_eq!(s.used, 0);
+    }
+}

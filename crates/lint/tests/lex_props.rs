@@ -1,0 +1,139 @@
+//! Differential property tests for the lexer: whatever the input, the
+//! produced spans must tile the source byte-for-byte. This is the
+//! invariant every downstream pass (item tree, W1 span adjacency)
+//! leans on, so it gets the widest net we can throw: random fragment
+//! soup, adversarial literal edge cases, and every real source file in
+//! the workspace.
+
+use gfw_lint::lex::{lex, TokKind};
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Assert the span-tiling invariant and reassemble the source.
+fn assert_tiles(src: &str) {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut rebuilt = String::with_capacity(src.len());
+    for t in &toks {
+        assert_eq!(
+            t.start, pos,
+            "gap or overlap before {:?} in {src:?}",
+            t.kind
+        );
+        assert!(t.end > t.start, "empty token {:?} in {src:?}", t.kind);
+        assert!(
+            t.line >= line,
+            "line went backwards at {:?} in {src:?}",
+            t.kind
+        );
+        line = t.line;
+        rebuilt.push_str(&src[t.start..t.end]);
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "trailing bytes unlexed in {src:?}");
+    assert_eq!(rebuilt, src);
+}
+
+/// Fragments chosen to stress every lexer branch: literal forms that
+/// share prefixes (`1.5` vs `1..5` vs `1.max`), raw idents and strings,
+/// nested block comments, lifetimes vs chars, and plain soup.
+const FRAGMENTS: &[&str] = &[
+    "fn f()",
+    "let x = 1.5;",
+    "1..5",
+    "1.max(2)",
+    "0x_ff_u32",
+    "2e9",
+    "3.0e-7_f64",
+    "b\"bytes\\n\"",
+    "\"str with \\\" quote\"",
+    "r\"raw\"",
+    "r#\"raw # hash\"#",
+    "'a'",
+    "'\\n'",
+    "'static",
+    "r#match",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* still */ comment */",
+    "::<>",
+    "<<=",
+    "+=",
+    "=>",
+    "..=",
+    "macro_rules!",
+    "#[cfg(test)]",
+    "\n\n  \t ",
+    "unsafe { *p }",
+    "\u{2603}",
+    "self.used",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any concatenation of fragments lexes into spans that tile the
+    /// source exactly — no gaps, no overlaps, nothing dropped.
+    #[test]
+    fn random_fragment_soup_tiles(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+    ) {
+        let mut src = String::new();
+        for (i, p) in picks.iter().enumerate() {
+            src.push_str(FRAGMENTS[*p]);
+            // Alternate separators so fragments also collide directly.
+            if i % 3 == 0 {
+                src.push(' ');
+            }
+        }
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn every_real_workspace_file_tiles() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut checked = 0usize;
+    let mut stack = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() {
+                if name != "target" && name != "fixtures" && name != "vendor" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                assert_tiles(&src);
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 100, "only {checked} files found — walk is broken");
+}
+
+#[test]
+fn literal_edge_cases_classify_and_tile() {
+    // The shared-prefix cases the scanner used to get wrong as a
+    // line-oriented tool: float vs range vs method call.
+    for (src, kind) in [
+        ("1.5", TokKind::Float),
+        ("1e3", TokKind::Float),
+        ("1.", TokKind::Float),
+        ("0b1010", TokKind::Int),
+        ("1_000_000u64", TokKind::Int),
+    ] {
+        assert_tiles(src);
+        assert_eq!(lex(src)[0].kind, kind, "{src}");
+    }
+    // `1..5` and `1.max(2)` start with an *integer*.
+    assert_eq!(lex("1..5")[0].kind, TokKind::Int);
+    assert_eq!(lex("1.max(2)")[0].kind, TokKind::Int);
+    assert_tiles("1..5");
+    assert_tiles("1.max(2)");
+}

@@ -321,3 +321,162 @@ fn real_workspace_is_clean() {
         render_human(&report)
     );
 }
+
+#[test]
+fn r1_flags_nondeterminism_reachable_from_the_simulator() {
+    // ISSUE acceptance: a helper chain from an `impl Simulator` method
+    // into a non-sim crate's wall-clock call must fail the lint, as
+    // must hash-ordered map iteration in the simulator itself.
+    let report = lint_fixture("r1_taint");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("R1", "crates/core/src/sim.rs", 15),
+            ("R1", "crates/sscrypto/src/lib.rs", 8),
+        ],
+        "got:\n{}",
+        render_human(&report)
+    );
+    let iter = &report.findings[0].message;
+    assert!(
+        iter.contains("iteration over hash-ordered `flows`"),
+        "message: {iter}"
+    );
+    assert!(
+        iter.contains("via core::Simulator::step"),
+        "message: {iter}"
+    );
+    let clock = &report.findings[1].message;
+    assert!(clock.contains("`SystemTime::now`"), "message: {clock}");
+    assert!(
+        clock.contains("via core::Simulator::step -> core::stamp_ms -> sscrypto::now_ms"),
+        "taint chain must name every hop: {clock}"
+    );
+    // The `.values().sum()` line is order-neutral and not flagged; the
+    // diagnostic-only `Instant::now` escape is honored.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "R1");
+    assert_eq!(report.allows[0].file, "crates/sscrypto/src/lib.rs");
+    assert_eq!(report.allows[0].line, 15);
+}
+
+#[test]
+fn u1_flags_missing_safety_comments_and_budget_breaches() {
+    let report = lint_fixture("u1_unsafe");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("U1", "crates/sscrypto/src/simd.rs", 13),
+            ("U1", "lint-baseline.toml", 0),
+            ("U1", "crates/sscrypto/src/lib.rs", 1),
+        ],
+        "got:\n{}",
+        render_human(&report)
+    );
+    assert!(report.findings[0]
+        .message
+        .contains("unsafe fn without an adjacent `// SAFETY:`"));
+    assert!(report.findings[1]
+        .message
+        .contains("no [unsafe-budget] entry"));
+    assert!(report.findings[2].message.contains("over its budget of 2"));
+    // Sites in #[cfg(test)] are not counted: 3 for sscrypto, not 4.
+    assert_eq!(report.unsafe_counts.get("sscrypto"), Some(&3));
+    assert_eq!(report.unsafe_counts.get("shadowsocks"), Some(&1));
+    // The SAFETY-commented block and the waived block produce no
+    // per-site findings; the waiver is honored.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "U1");
+    assert_eq!(report.allows[0].file, "crates/sscrypto/src/simd.rs");
+    assert_eq!(report.allows[0].line, 20);
+}
+
+#[test]
+fn w1_flags_bare_ops_on_boundary_crossing_integer_state() {
+    let report = lint_fixture("w1_overflow");
+    assert_eq!(
+        spans(&report),
+        vec![
+            ("W1", "crates/sscrypto/src/stream.rs", 14),
+            ("W1", "crates/sscrypto/src/stream.rs", 15),
+        ],
+        "got:\n{}",
+        render_human(&report)
+    );
+    let field = &report.findings[0].message;
+    assert!(
+        field.contains("`+=` on hot-path integer state `self.used` (u64)"),
+        "message: {field}"
+    );
+    assert!(field.contains("wrapping_add"), "message: {field}");
+    let param = &report.findings[1].message;
+    assert!(
+        param.contains("`*` on hot-path integer state `n` (u64)"),
+        "message: {param}"
+    );
+    assert!(param.contains("wrapping_mul"), "message: {param}");
+    // `wrapping_add` lines, f64 math and #[cfg(test)] code are not
+    // flagged; the bounded-shift waiver is honored.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "W1");
+    assert_eq!(report.allows[0].line, 19);
+}
+
+#[test]
+fn cfg_test_regions_are_exact_for_nested_and_conjunctive_forms() {
+    // Regression: panic sites inside a module nested under
+    // `#[cfg(test)]`, after that nested module closes, and under
+    // `#[cfg(all(test, ...))]` must all stay out of the P1 count.
+    let report = lint_fixture("cfg_forms");
+    assert!(
+        report.is_clean(),
+        "expected clean, got:\n{}",
+        render_human(&report)
+    );
+    assert_eq!(report.panic_counts.get("core"), Some(&1));
+}
+
+#[test]
+fn json_schema_keys_are_stable_and_ordered() {
+    // The `--json` shape is consumed by CI tooling: the top-level key
+    // set and order are a compatibility contract.
+    let expected = [
+        "\"findings\"",
+        "\"allows\"",
+        "\"panic_counts\"",
+        "\"alloc_counts\"",
+        "\"unsafe_counts\"",
+        "\"panic_sites\"",
+        "\"alloc_sites\"",
+        "\"files_scanned\"",
+        "\"clean\"",
+    ];
+    for fixture in ["clean", "u1_unsafe", "w1_overflow"] {
+        let json = render_json(&lint_fixture(fixture));
+        let mut last = 0usize;
+        for key in &expected {
+            let at = json
+                .find(key)
+                .unwrap_or_else(|| panic!("{fixture}: missing top-level key {key} in:\n{json}"));
+            assert!(at > last, "{fixture}: key {key} out of order");
+            last = at;
+        }
+    }
+    // Budget sites carry their enclosing function for aggregation.
+    let json = render_json(&lint_fixture("cfg_forms"));
+    assert!(json.contains("\"function\": \"parse\""), "got:\n{json}");
+}
+
+#[test]
+fn explain_covers_every_rule() {
+    for rule in [
+        "D1", "D2", "P1", "A1", "C1", "H1", "T1", "T2", "R1", "U1", "W1",
+    ] {
+        let text =
+            gfw_lint::explain::explain(rule).unwrap_or_else(|| panic!("--explain {rule} missing"));
+        assert!(text.contains(rule), "{rule}: {text}");
+        assert!(text.len() > 80, "{rule} explanation too thin: {text}");
+    }
+    assert!(gfw_lint::explain::explain("Z9").is_none());
+    assert!(gfw_lint::explain::index().contains("W1"));
+}

@@ -142,8 +142,8 @@ impl<T> EventQueue<T> {
     /// same time pop in push order.
     pub fn push(&mut self, at: SimTime, item: T) {
         let seq = self.next_seq;
-        self.next_seq += 1;
-        self.len += 1;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.len = self.len.wrapping_add(1);
         self.insert(Entry { at, seq, item });
     }
 

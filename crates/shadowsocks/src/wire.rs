@@ -330,12 +330,17 @@ impl AeadDecryptor {
                     if avail < 2 + TAG_LEN {
                         return Ok(None);
                     }
+                    // Offset sums below cannot wrap: `self.pos + k` is
+                    // bounds-checked by the slice indexing itself (and
+                    // `avail >= 2 + TAG_LEN` was just established).
+                    // gfwlint: allow(W1) -- bounds-checked by the index
                     let mut len_bytes = [self.buf[self.pos], self.buf[self.pos + 1]];
                     let mut tag = [0u8; TAG_LEN];
+                    // gfwlint: allow(W1) -- bounds-checked by the index
                     tag.copy_from_slice(&self.buf[self.pos + 2..self.pos + 2 + TAG_LEN]);
                     aead.open(&self.nonce, &[], &mut len_bytes, &tag)?;
                     next_nonce(&mut self.nonce);
-                    self.pos += 2 + TAG_LEN;
+                    self.pos = self.pos.wrapping_add(2 + TAG_LEN);
                     let len = u16::from_be_bytes(len_bytes) as usize & MAX_CHUNK;
                     self.phase = AeadPhase::Payload(len);
                 }
@@ -344,12 +349,13 @@ impl AeadDecryptor {
                         return Ok(None);
                     }
                     let mut tag = [0u8; TAG_LEN];
+                    // gfwlint: allow(W1) -- bounds-checked by the index
                     tag.copy_from_slice(&self.buf[self.pos + len..self.pos + len + TAG_LEN]);
                     let body = &mut self.buf[self.pos..self.pos + len];
                     aead.open(&self.nonce, &[], body, &tag)?;
                     next_nonce(&mut self.nonce);
                     let start = self.pos;
-                    self.pos += len + TAG_LEN;
+                    self.pos = self.pos.wrapping_add(len + TAG_LEN);
                     self.phase = AeadPhase::Length;
                     return Ok(Some(start..start + len));
                 }

@@ -30,6 +30,9 @@ const SBOX: [u8; 256] = [
 ];
 
 const fn xtime(b: u8) -> u8 {
+    // GF(2^8) doubling: the high bit is deliberately shifted out and
+    // folded back in via the reduction polynomial term (0x1b).
+    // gfwlint: allow(W1) -- truncating shift is the GF(2^8) reduction
     (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
@@ -176,6 +179,7 @@ impl Aes {
 }
 
 fn be32(b: &[u8; 16], i: usize) -> u32 {
+    // gfwlint: allow(W1) -- i is 0/4/8/12; the indexing bounds-checks
     u32::from_be_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]])
 }
 

@@ -53,7 +53,7 @@ impl AesCfb {
                 Direction::Encrypt => *byte,
                 Direction::Decrypt => input,
             };
-            self.used += 1;
+            self.used = self.used.wrapping_add(1);
         }
     }
 }

@@ -82,7 +82,7 @@ impl ChaCha20 {
         let mut i = 0;
         while self.used < 64 && i < data.len() {
             data[i] ^= self.keystream[self.used];
-            self.used += 1;
+            self.used = self.used.wrapping_add(1);
             i += 1;
         }
         while data.len() - i >= 256 {
@@ -98,7 +98,7 @@ impl ChaCha20 {
                 self.next_block();
             }
             *byte ^= self.keystream[self.used];
-            self.used += 1;
+            self.used = self.used.wrapping_add(1);
         }
     }
 
@@ -188,7 +188,7 @@ impl ChaCha20Legacy {
         let mut i = 0;
         while self.used < 64 && i < data.len() {
             data[i] ^= self.keystream[self.used];
-            self.used += 1;
+            self.used = self.used.wrapping_add(1);
             i += 1;
         }
         while data.len() - i >= 256 {
@@ -204,7 +204,7 @@ impl ChaCha20Legacy {
                 self.next_block();
             }
             *byte ^= self.keystream[self.used];
-            self.used += 1;
+            self.used = self.used.wrapping_add(1);
         }
     }
 }

@@ -48,7 +48,7 @@ impl AesCtr {
                 self.next_keystream();
             }
             *byte ^= self.keystream[self.used];
-            self.used += 1;
+            self.used = self.used.wrapping_add(1);
         }
     }
 }

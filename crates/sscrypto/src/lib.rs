@@ -65,6 +65,7 @@ impl std::error::Error for AuthError {}
 /// replacement for the `try_into().unwrap()` idiom in the cipher hot
 /// paths.
 pub(crate) fn le32(bytes: &[u8], off: usize) -> u32 {
+    // gfwlint: allow(W1) -- offsets in bounds by construction (see doc)
     u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
 }
 

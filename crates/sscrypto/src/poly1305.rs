@@ -83,7 +83,7 @@ impl Poly1305 {
         if self.buf_len > 0 {
             let take = (16 - self.buf_len).min(data.len());
             self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
-            self.buf_len += take;
+            self.buf_len = self.buf_len.wrapping_add(take);
             data = &data[take..];
             if self.buf_len == 16 {
                 let block = self.buf;
@@ -168,12 +168,16 @@ impl Poly1305 {
 
         let mut f: u64;
         let mut out = [0u8; TAG_LEN];
+        // gfwlint: allow(W1) -- u32-range values widened to u64 cannot overflow
         f = h0 as u64 + self.pad[0] as u64;
         out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        // gfwlint: allow(W1) -- u32-range values widened to u64 cannot overflow
         f = h1 as u64 + self.pad[1] as u64 + (f >> 32);
         out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        // gfwlint: allow(W1) -- u32-range values widened to u64 cannot overflow
         f = h2 as u64 + self.pad[2] as u64 + (f >> 32);
         out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        // gfwlint: allow(W1) -- u32-range values widened to u64 cannot overflow
         f = h3 as u64 + self.pad[3] as u64 + (f >> 32);
         out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
         out

@@ -56,7 +56,7 @@ impl Sha256 {
         if self.buf_len > 0 {
             let take = (BLOCK_LEN - self.buf_len).min(data.len());
             self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
-            self.buf_len += take;
+            self.buf_len = self.buf_len.wrapping_add(take);
             data = &data[take..];
             if self.buf_len == BLOCK_LEN {
                 let block = self.buf;
