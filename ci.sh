@@ -31,6 +31,15 @@ echo "==> bench-report --check BENCH_substrate.json"
 # The tracked perf trajectory must exist and be well-formed.
 ./target/release/bench-report --check BENCH_substrate.json
 
+echo "==> exp-scale --quick smoke"
+# Hybrid-engine smoke: 10k bulk flows must all complete in-process.
+./target/release/exp-scale --quick > /dev/null
+
+echo "==> bench-report --check BENCH_scale.json"
+# The tracked hybrid-vs-packet scale trajectory: well-formed, and the
+# 100k-flow speedup must hold the >= 10x bar.
+./target/release/bench-report --check BENCH_scale.json
+
 if [ "${GFWSIM_BENCH_DEBUG_ASSERT:-0}" = "1" ]; then
     echo "==> bench-report rebuild with debug assertions (GFWSIM_BENCH_DEBUG_ASSERT=1)"
     # Opt-in paranoia mode: rerun the perf smoke with debug assertions

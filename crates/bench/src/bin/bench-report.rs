@@ -308,6 +308,26 @@ fn extract_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Configurations tracked in `BENCH_scale.json` (see `exp-scale`).
+const SCALE_STEMS: &[&str] = &[
+    "packet_10k",
+    "packet_100k",
+    "hybrid_10k",
+    "hybrid_100k",
+    "hybrid_1m",
+];
+
+/// Acceptance bar for the hybrid engine: flows/sec at 100k flows must
+/// beat the pure packet engine by at least this factor.
+const SCALE_MIN_SPEEDUP_100K: f64 = 10.0;
+
+/// Regression floor for the fig10 grid in full-mode substrate files.
+/// The grid is crypto-bound and bimodal run to run, so it carries a
+/// tolerance band rather than an exact bar; below this floor a real
+/// regression is the likelier explanation than scheduling noise.
+/// Quick-mode files are exempt (single run, noise-dominated).
+const FIG10_GRID_MIN_SPEEDUP: f64 = 0.9;
+
 /// Validate a BENCH_substrate.json: schema marker present, every
 /// metric a positive finite number. Returns a list of problems.
 fn check_file(text: &str) -> Vec<String> {
@@ -336,6 +356,44 @@ fn check_file(text: &str) -> Vec<String> {
             Some(v) if v.is_finite() && v > 0.0 => {}
             _ => problems.push(format!("\"{key}\" is not a positive number")),
         }
+    }
+    if text.contains("\"mode\": \"full\"") {
+        // First "fig10_grid" occurrence is the substrate speedup block.
+        match extract_number(text, "fig10_grid") {
+            Some(v) if v >= FIG10_GRID_MIN_SPEEDUP => {}
+            Some(v) => problems.push(format!(
+                "\"fig10_grid\" speedup {v} below the {FIG10_GRID_MIN_SPEEDUP} regression floor"
+            )),
+            None => problems.push("missing \"fig10_grid\" speedup".to_string()),
+        }
+    }
+    problems
+}
+
+/// Validate a BENCH_scale.json (from `exp-scale`): schema marker,
+/// flows/sec and peak RSS present and positive for every tracked
+/// configuration, and the 100k-flow hybrid speedup at or above the
+/// acceptance bar.
+fn check_scale_file(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if extract_number(text, "schema") != Some(1.0) {
+        problems.push("missing or unsupported \"schema\" (want 1)".to_string());
+    }
+    for stem in SCALE_STEMS {
+        for metric in ["flows_per_sec", "rss_kb"] {
+            let key = format!("{stem}_{metric}");
+            match extract_number(text, &key) {
+                Some(v) if v.is_finite() && v > 0.0 => {}
+                _ => problems.push(format!("\"{key}\" is not a positive number")),
+            }
+        }
+    }
+    match extract_number(text, "speedup_flows_100k") {
+        Some(v) if v >= SCALE_MIN_SPEEDUP_100K => {}
+        Some(v) => problems.push(format!(
+            "\"speedup_flows_100k\" {v} below the {SCALE_MIN_SPEEDUP_100K}x acceptance bar"
+        )),
+        None => problems.push("missing \"speedup_flows_100k\"".to_string()),
     }
     problems
 }
@@ -368,7 +426,11 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let problems = check_file(&text);
+        let problems = if text.contains("\"bench\": \"scale\"") {
+            check_scale_file(&text)
+        } else {
+            check_file(&text)
+        };
         if problems.is_empty() {
             println!("bench-report: {path} OK");
             return;
@@ -498,6 +560,63 @@ mod tests {
                 "{k} open"
             );
         }
+    }
+
+    fn fake_scale_json(speedup: f64) -> String {
+        let mut s =
+            String::from("{\n  \"schema\": 1,\n  \"bench\": \"scale\",\n  \"mode\": \"full\",\n");
+        for stem in SCALE_STEMS {
+            s.push_str(&format!("  \"{stem}_flows_per_sec\": 1000.0,\n"));
+            s.push_str(&format!("  \"{stem}_rss_kb\": 5000,\n"));
+        }
+        s.push_str(&format!("  \"speedup_flows_100k\": {speedup:.2}\n}}\n"));
+        s
+    }
+
+    #[test]
+    fn scale_json_passes_check() {
+        let body = fake_scale_json(42.0);
+        assert!(
+            check_scale_file(&body).is_empty(),
+            "{:?}",
+            check_scale_file(&body)
+        );
+    }
+
+    #[test]
+    fn scale_speedup_below_bar_is_rejected() {
+        let problems = check_scale_file(&fake_scale_json(7.5));
+        assert!(
+            problems.iter().any(|p| p.contains("speedup_flows_100k")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn scale_missing_config_is_rejected() {
+        let body = fake_scale_json(42.0).replace("hybrid_1m", "hybrid_2m");
+        let problems = check_scale_file(&body);
+        assert!(
+            problems.iter().any(|p| p.contains("hybrid_1m")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn full_mode_substrate_gates_fig10_grid_speedup() {
+        let good = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
+        assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
+        // Degrade the grid wall time until the speedup falls under the
+        // floor; a full-mode file must then fail the check.
+        let slow = json(false, 2_000_000.0, 900_000.0, 100_000.0, &fake_crypto());
+        let problems = check_file(&slow);
+        assert!(
+            problems.iter().any(|p| p.contains("fig10_grid")),
+            "{problems:?}"
+        );
+        // Quick files are exempt from the bar.
+        let quick = json(true, 2_000_000.0, 900_000.0, 100_000.0, &fake_crypto());
+        assert!(check_file(&quick).is_empty(), "{:?}", check_file(&quick));
     }
 
     #[test]

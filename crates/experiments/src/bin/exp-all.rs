@@ -51,16 +51,22 @@ fn main() {
             "tapped",
             "dropped",
             "probes",
+            "promoted",
+            "demoted",
+            "fluid bytes",
             "peak queue",
             "wall ms",
             "events/s",
+            "rss kb",
         ]);
         let mut total = netsim::sim::SimStats::default();
         let mut total_wall = std::time::Duration::ZERO;
+        let mut peak_rss = 0u64;
         for (e, r) in entries.iter().zip(&runs) {
             let s = &r.stats;
             total.merge(s);
             total_wall += r.wall;
+            peak_rss = peak_rss.max(r.peak_rss_kb);
             t.row(&[
                 e.id.to_string(),
                 s.events.to_string(),
@@ -69,9 +75,13 @@ fn main() {
                 s.packets_tapped.to_string(),
                 s.packets_dropped.to_string(),
                 s.probes_launched.to_string(),
+                s.flows_promoted.to_string(),
+                s.flows_demoted.to_string(),
+                s.fluid_bytes_modeled.to_string(),
                 s.peak_queue_depth.to_string(),
                 format!("{:.1}", r.wall.as_secs_f64() * 1e3),
                 format!("{:.0}", events_per_sec(s.events, r.wall)),
+                r.peak_rss_kb.to_string(),
             ]);
         }
         t.row(&[
@@ -82,14 +92,21 @@ fn main() {
             total.packets_tapped.to_string(),
             total.packets_dropped.to_string(),
             total.probes_launched.to_string(),
+            total.flows_promoted.to_string(),
+            total.flows_demoted.to_string(),
+            total.fluid_bytes_modeled.to_string(),
             total.peak_queue_depth.to_string(),
             format!("{:.1}", total_wall.as_secs_f64() * 1e3),
             format!("{:.0}", events_per_sec(total.events, total_wall)),
+            peak_rss.to_string(),
         ]);
         println!("== runner stats ==\n{}", t.render());
         println!(
             "(wall times are per-job CPU-side measurements; with parallel \
-workers the total exceeds elapsed time)"
+workers the total exceeds elapsed time. rss kb is the process-wide \
+VmHWM sampled when each job finished — a monotone high-water mark, so \
+per-experiment values reflect everything run up to that point, 0 on \
+platforms without procfs; the total row reports the maximum)"
         );
     }
 }

@@ -1,0 +1,220 @@
+//! Scale bench for the hybrid flow/packet engine.
+//!
+//! Modes:
+//!
+//! * `exp-scale` — full bench: re-runs the bulk workload in child
+//!   processes (one per engine × flow-count configuration, so each
+//!   peak-RSS reading is isolated) and writes `BENCH_scale.json` with
+//!   flows/sec and peak RSS at 10k/100k flows for both engines plus
+//!   1M flows for the hybrid engine.
+//! * `exp-scale --quick` — in-process smoke run: 10k flows under the
+//!   hybrid engine, printing a one-line summary. Used by `ci.sh`.
+//! * `exp-scale --measure <engine> <flows>` — child mode: runs one
+//!   configuration and prints `key=value` lines for the parent.
+//!
+//! Wall-clock and RSS are machine-facts; everything seed-pure about
+//! this workload is rendered by `exp-all --only scale` instead.
+
+use experiments::figures::scale;
+use experiments::runner;
+use netsim::EngineMode;
+
+const SEED: u64 = 2020;
+
+struct Config {
+    engine: EngineMode,
+    flows: usize,
+    /// JSON key stem, e.g. `hybrid_100k`.
+    stem: &'static str,
+}
+
+const CONFIGS: &[Config] = &[
+    Config {
+        engine: EngineMode::Packet,
+        flows: 10_000,
+        stem: "packet_10k",
+    },
+    Config {
+        engine: EngineMode::Packet,
+        flows: 100_000,
+        stem: "packet_100k",
+    },
+    Config {
+        engine: EngineMode::Hybrid,
+        flows: 10_000,
+        stem: "hybrid_10k",
+    },
+    Config {
+        engine: EngineMode::Hybrid,
+        flows: 100_000,
+        stem: "hybrid_100k",
+    },
+    Config {
+        engine: EngineMode::Hybrid,
+        flows: 1_000_000,
+        stem: "hybrid_1m",
+    },
+];
+
+/// One measured configuration, as reported by a `--measure` child.
+struct Row {
+    stem: &'static str,
+    flows: usize,
+    completed: u64,
+    wall_ms: f64,
+    flows_per_sec: f64,
+    rss_kb: u64,
+    events: u64,
+}
+
+fn engine_name(e: EngineMode) -> &'static str {
+    match e {
+        EngineMode::Packet => "packet",
+        EngineMode::Hybrid => "hybrid",
+    }
+}
+
+fn run_measure(engine: EngineMode, flows: usize) {
+    let started = std::time::Instant::now();
+    let m = scale::measure(engine, flows, SEED);
+    let wall = started.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let fps = flows as f64 / wall.as_secs_f64().max(1e-9);
+    println!("flows={flows}");
+    println!("completed={}", m.completed);
+    println!("wall_ms={wall_ms:.1}");
+    println!("flows_per_sec={fps:.1}");
+    println!("rss_kb={}", runner::peak_rss_kb());
+    println!("events={}", m.stats.events);
+}
+
+fn parse_kv(output: &str, key: &str) -> Option<f64> {
+    output
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn spawn_child(cfg: &Config) -> Row {
+    let exe = std::env::current_exe().expect("exp-scale: current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--measure")
+        .arg(engine_name(cfg.engine))
+        .arg(cfg.flows.to_string())
+        .output()
+        .expect("exp-scale: spawn child");
+    assert!(
+        out.status.success(),
+        "exp-scale: child {} failed:\n{}",
+        cfg.stem,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    let get = |k: &str| {
+        parse_kv(&text, k)
+            .unwrap_or_else(|| panic!("exp-scale: child {} missing key {k}", cfg.stem))
+    };
+    Row {
+        stem: cfg.stem,
+        flows: cfg.flows,
+        completed: get("completed") as u64,
+        wall_ms: get("wall_ms"),
+        flows_per_sec: get("flows_per_sec"),
+        rss_kb: get("rss_kb") as u64,
+        events: get("events") as u64,
+    }
+}
+
+fn write_json(path: &str, rows: &[Row], speedup_100k: f64) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"bench\": \"scale\",\n");
+    s.push_str("  \"mode\": \"full\",\n");
+    s.push_str(&format!("  \"seed\": {SEED},\n"));
+    for r in rows {
+        s.push_str(&format!(
+            "  \"{}_flows_per_sec\": {:.1},\n",
+            r.stem, r.flows_per_sec
+        ));
+        s.push_str(&format!("  \"{}_rss_kb\": {},\n", r.stem, r.rss_kb));
+        s.push_str(&format!("  \"{}_wall_ms\": {:.1},\n", r.stem, r.wall_ms));
+    }
+    s.push_str(&format!("  \"speedup_flows_100k\": {speedup_100k:.2}\n"));
+    s.push_str("}\n");
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("exp-scale: write {path}: {e}"));
+}
+
+fn main() {
+    runner::configure_from_env();
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(i) = args.iter().position(|a| a == "--measure") {
+        let engine = match args.get(i + 1).map(String::as_str) {
+            Some("packet") => EngineMode::Packet,
+            Some("hybrid") => EngineMode::Hybrid,
+            other => panic!("exp-scale --measure: bad engine {other:?}"),
+        };
+        let flows: usize = args
+            .get(i + 2)
+            .and_then(|v| v.parse().ok())
+            .expect("exp-scale --measure: bad flow count");
+        run_measure(engine, flows);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--quick") {
+        let started = std::time::Instant::now();
+        let m = scale::measure(EngineMode::Hybrid, 10_000, SEED);
+        let wall = started.elapsed();
+        assert_eq!(
+            m.completed, 10_000,
+            "exp-scale --quick: not every transfer completed"
+        );
+        println!(
+            "exp-scale quick: 10000 flows (hybrid) in {:.1} ms, {} events, \
+             {} promoted, peak rss {} kB",
+            wall.as_secs_f64() * 1e3,
+            m.stats.events,
+            m.stats.flows_promoted,
+            runner::peak_rss_kb(),
+        );
+        return;
+    }
+
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+
+    println!("== exp-scale ==  (seed {SEED}, one child process per configuration)\n");
+    let mut rows = Vec::with_capacity(CONFIGS.len());
+    for cfg in CONFIGS {
+        let row = spawn_child(cfg);
+        assert_eq!(
+            row.completed, row.flows as u64,
+            "exp-scale: {} completed {} of {} transfers",
+            row.stem, row.completed, row.flows
+        );
+        println!(
+            "{:<12} {:>9} flows  {:>10.1} ms  {:>10.1} flows/s  {:>9} kB  {:>11} events",
+            row.stem, row.flows, row.wall_ms, row.flows_per_sec, row.rss_kb, row.events
+        );
+        rows.push(row);
+    }
+
+    let packet_100k = rows
+        .iter()
+        .find(|r| r.stem == "packet_100k")
+        .expect("exp-scale: packet_100k row");
+    let hybrid_100k = rows
+        .iter()
+        .find(|r| r.stem == "hybrid_100k")
+        .expect("exp-scale: hybrid_100k row");
+    let speedup = hybrid_100k.flows_per_sec / packet_100k.flows_per_sec.max(1e-9);
+    println!("\nspeedup at 100k flows: {speedup:.2}x (hybrid over packet)");
+
+    write_json(&out_path, &rows, speedup);
+    println!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod impair;
 pub mod inference;
+pub mod scale;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -144,5 +145,10 @@ pub const REGISTRY: &[Entry] = &[
         id: "impair",
         title: "Extension: link impairment",
         render: |s, seed| impair::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "scale",
+        title: "Extension: hybrid engine scale",
+        render: |s, seed| scale::run(s, seed).to_string(),
     },
 ];

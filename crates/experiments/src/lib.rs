@@ -66,3 +66,17 @@ impl Scale {
         }
     }
 }
+
+/// Engine selection for the canonical runs, from the `GFWSIM_ENGINE`
+/// environment variable: `packet` forces the pure packet engine,
+/// anything else (including unset) selects the default hybrid engine.
+///
+/// Read here rather than inside `netsim` so the simulator itself stays
+/// environment-free; the equivalence suite uses this to check that the
+/// hybrid engine leaves every experiment's output byte-identical.
+pub fn engine_mode() -> netsim::EngineMode {
+    match std::env::var("GFWSIM_ENGINE") {
+        Ok(v) if v.eq_ignore_ascii_case("packet") => netsim::EngineMode::Packet,
+        _ => netsim::EngineMode::Hybrid,
+    }
+}

@@ -119,6 +119,33 @@ pub struct JobRun<R> {
     /// Wall-clock time the job spent running (measurement only — never
     /// feeds back into any simulation, which stays seed-pure).
     pub wall: std::time::Duration,
+    /// Process peak RSS (kB) sampled when the job finished; 0 where the
+    /// platform offers no cheap readout. VmHWM is a process-global
+    /// high-water mark, so with parallel workers the value reflects the
+    /// whole process at that moment, not this job alone.
+    pub peak_rss_kb: u64,
+}
+
+/// Process peak resident set size in kB, from `VmHWM` in
+/// `/proc/self/status`. Returns 0 on platforms without procfs.
+/// Measurement only — never feeds back into any simulation.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(s) = std::fs::read_to_string("/proc/self/status") {
+            for line in s.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+                    return digits.parse().unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 /// Credit a finished simulator's counters to the current job. The run
@@ -179,6 +206,7 @@ pub fn run_jobs_detailed_with<J: Job>(specs: Vec<J>, workers: usize) -> Vec<JobR
                     output,
                     stats,
                     wall: started.elapsed(),
+                    peak_rss_kb: peak_rss_kb(),
                 }
             })
             .collect();
@@ -204,6 +232,7 @@ pub fn run_jobs_detailed_with<J: Job>(specs: Vec<J>, workers: usize) -> Vec<JobR
                         output,
                         stats,
                         wall: started.elapsed(),
+                        peak_rss_kb: peak_rss_kb(),
                     });
                 }
             });

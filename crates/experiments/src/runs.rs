@@ -195,6 +195,7 @@ pub struct SsWorld {
 pub fn build_ss_world(cfg: &SsRunConfig) -> SsWorld {
     let sim_config = SimConfig {
         impairment: cfg.impairment,
+        engine: crate::engine_mode(),
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(sim_config, cfg.seed);
@@ -352,7 +353,11 @@ pub struct SinkRunResult {
 
 /// Run one Table 4 experiment.
 pub fn sink_run(cfg: &SinkRunConfig) -> SinkRunResult {
-    let mut sim = Simulator::new(SimConfig::default(), cfg.seed);
+    let sim_config = SimConfig {
+        engine: crate::engine_mode(),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(sim_config, cfg.seed);
     let mut gfw_config = GfwConfig::default();
     gfw_config.fleet.pool_size = 3_000;
     gfw_config.blocking.sensitivity = 0.0;

@@ -1,0 +1,77 @@
+//! Golden equivalence for the hybrid engine: the detection experiments
+//! must be **byte-identical** under the pure packet engine and the
+//! hybrid engine (the session default), at any worker count.
+//!
+//! This is the contract that lets the hybrid engine exist at all:
+//! promotion only ever applies to bulk-transfer tails issued through
+//! `Ctx::transfer`, which the paper-reproduction experiments never use,
+//! so every verdict, probe, and rendered table must come out the same.
+//! The expectations here are the *committed* goldens from
+//! `tests/golden/` — intentionally not re-blessed alongside this
+//! change, so a hybrid-engine leak into detection behaviour fails this
+//! suite rather than being silently snapshotted.
+
+use std::process::Command;
+
+/// Run `bin` with the given engine selection and worker count, and
+/// compare its stdout byte-for-byte against the committed golden.
+fn check(bin: &str, name: &str, engine: Option<&str>, jobs: &str) {
+    let mut cmd = Command::new(bin);
+    cmd.args(["--jobs", jobs]).env_remove("GFWSIM_JOBS");
+    match engine {
+        Some(e) => {
+            cmd.env("GFWSIM_ENGINE", e);
+        }
+        None => {
+            cmd.env_remove("GFWSIM_ENGINE");
+        }
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} (engine {engine:?}, jobs {jobs}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("utf-8 stdout");
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+
+    if got != want {
+        let line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+        panic!(
+            "{name} under engine {engine:?} (jobs {jobs}) diverged from the \
+             committed golden at line {line}\n\
+             --- got ---\n{}\n--- want ---\n{}",
+            got.lines().nth(line - 1).unwrap_or("<eof>"),
+            want.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
+
+/// Every (engine, jobs) combination for one experiment binary.
+fn check_all(bin: &str, name: &str) {
+    for engine in [Some("packet"), None] {
+        for jobs in ["1", "4"] {
+            check(bin, name, engine, jobs);
+        }
+    }
+}
+
+#[test]
+fn exp_fig10_is_engine_invariant() {
+    check_all(env!("CARGO_BIN_EXE_exp-fig10"), "exp-fig10");
+}
+
+#[test]
+fn exp_table4_is_engine_invariant() {
+    check_all(env!("CARGO_BIN_EXE_exp-table4"), "exp-table4");
+}

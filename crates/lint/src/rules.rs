@@ -1126,6 +1126,7 @@ pub fn u1_unsafe_audit(ws: &Workspace, report: &mut Report) -> Result<(), String
 pub const W1_HOT_PATHS: &[&str] = &[
     "crates/sscrypto/src/",
     "crates/netsim/src/eventq.rs",
+    "crates/netsim/src/flow.rs",
     "crates/core/src/passive.rs",
     "crates/shadowsocks/src/wire.rs",
 ];

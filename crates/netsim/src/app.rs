@@ -61,6 +61,15 @@ pub enum AppEvent {
         /// Token passed at registration.
         token: u64,
     },
+    /// A bulk transfer issued through [`Ctx::transfer`] has been fully
+    /// delivered to the peer (its last byte arrived — via packets, the
+    /// fluid model, or both). Delivered to the *sending* app.
+    BulkDelivered {
+        /// Connection the transfer ran on.
+        conn: ConnId,
+        /// Total size of the transfer, as passed to [`Ctx::transfer`].
+        bytes: u64,
+    },
 }
 
 /// A simulated application (server, client, driver, controller…).
@@ -96,6 +105,11 @@ pub enum Command {
         /// Token to echo back.
         token: u64,
     },
+    /// Send a bulk transfer of the given size: the simulator generates
+    /// the payload deterministically and may promote the tail of the
+    /// transfer to the fluid model (hybrid engine). Completion is
+    /// reported back via [`AppEvent::BulkDelivered`].
+    Transfer(ConnId, u64),
 }
 
 /// Per-callback context: the current time, a deterministic RNG, and the
@@ -146,6 +160,17 @@ impl<'a> Ctx<'a> {
             },
         ));
         conn
+    }
+
+    /// Send a bulk transfer of `bytes` on `conn`. Unlike [`Ctx::send`],
+    /// the payload is generated by the simulator (deterministic,
+    /// high-entropy) and the transfer's tail is eligible for fluid
+    /// modeling; [`AppEvent::BulkDelivered`] fires when the last byte
+    /// has been delivered. Intent-based bulk apps should prefer this
+    /// over materializing megabytes through `send`.
+    pub fn transfer(&mut self, conn: ConnId, bytes: u64) {
+        self.commands
+            .push((self.app, Command::Transfer(conn, bytes)));
     }
 
     /// Request a timer callback `after` from now, echoing `token`.

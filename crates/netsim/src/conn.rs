@@ -200,6 +200,10 @@ pub struct Connection {
     /// Whether the client has sent any data yet (first-data-packet
     /// detection for taps).
     pub client_sent_data: bool,
+    /// True while the tail of a bulk transfer on this connection is in
+    /// the fluid model (hybrid engine). A cheap pre-filter: the wire
+    /// paths check this flag before touching the fluid flow table.
+    pub fluid: bool,
     /// Close reason, once closed.
     pub close_reason: Option<CloseReason>,
     /// In-order delivery state; allocated only when the simulator's

@@ -82,6 +82,7 @@ pub mod app;
 pub mod capture;
 pub mod conn;
 pub mod eventq;
+pub mod flow;
 pub mod host;
 pub mod impair;
 pub mod internet;
@@ -93,6 +94,7 @@ pub mod time;
 pub use app::{App, AppEvent, AppId, Ctx};
 pub use capture::Capture;
 pub use conn::{ConnId, TcpTuning};
+pub use flow::{EngineMode, LinkBandwidth};
 pub use host::{HostConfig, Region};
 pub use impair::{ImpairmentSpec, LinkImpairment};
 pub use packet::{Packet, SocketAddr, TcpFlags};

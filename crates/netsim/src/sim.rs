@@ -31,6 +31,7 @@ use crate::conn::{
     TcpTuning,
 };
 use crate::eventq::EventQueue;
+use crate::flow::{self, Completion, EngineMode, FluidState, LinkBandwidth, LinkId};
 use crate::host::{Host, HostArena, HostConfig, Region};
 use crate::impair::{ImpairmentSpec, LinkImpairment};
 use crate::internet::{InternetModel, RemoteOutcome};
@@ -60,6 +61,23 @@ pub struct SimConfig {
     /// strict no-op that leaves the schedule byte-identical to the
     /// perfect network.
     pub impairment: ImpairmentSpec,
+    /// Which engine drives bulk transfers ([`Ctx::transfer`]): pure
+    /// packet mode, or the hybrid engine that promotes transfer tails
+    /// to the fluid model. Connections that never issue a transfer are
+    /// byte-identical under both modes.
+    ///
+    /// [`Ctx::transfer`]: crate::app::Ctx::transfer
+    pub engine: EngineMode,
+    /// Per-link capacities for the fluid model.
+    pub bandwidth: LinkBandwidth,
+    /// Data segments a transfer emits at packet fidelity before its
+    /// tail may promote — the detector-relevant first packets (the GFW
+    /// model inspects only the first data packet; keeping a few more at
+    /// wire fidelity leaves headroom for richer detectors).
+    pub packet_phase_segments: u32,
+    /// Minimum tail size worth promoting; smaller tails stay packets
+    /// (the fixed promote/demote overhead would exceed the saving).
+    pub fluid_min_bytes: u64,
 }
 
 impl Default for SimConfig {
@@ -70,6 +88,10 @@ impl Default for SimConfig {
             mss: 1448,
             internet: InternetModel::default(),
             impairment: ImpairmentSpec::default(),
+            engine: EngineMode::default(),
+            bandwidth: LinkBandwidth::default(),
+            packet_phase_segments: 3,
+            fluid_min_bytes: 16_384,
         }
     }
 }
@@ -85,6 +107,7 @@ enum Event {
     SynTimeout { conn: ConnId },
     RemoteRefused { conn: ConnId },
     Retransmit { pkt: Packet, attempt: u32 },
+    FluidAdvance { link: LinkId, epoch: u64 },
 }
 
 /// Aggregate counters, cheap enough to keep always-on.
@@ -114,6 +137,15 @@ pub struct SimStats {
     pub packets_reordered: u64,
     /// Extra copies injected by the duplication impairment.
     pub packets_duplicated: u64,
+    /// Transfer tails promoted into the fluid model.
+    pub flows_promoted: u64,
+    /// Fluid flows demoted back to packet fidelity before completing
+    /// (a send, FIN or RST needed wire fidelity mid-transfer).
+    pub flows_demoted: u64,
+    /// Bytes delivered by the fluid model instead of per-packet events
+    /// (counted at completion/settle time, so conservation holds even
+    /// for transfers aborted by an RST).
+    pub fluid_bytes_modeled: u64,
 }
 
 impl SimStats {
@@ -131,6 +163,9 @@ impl SimStats {
         self.retransmits += other.retransmits;
         self.packets_reordered += other.packets_reordered;
         self.packets_duplicated += other.packets_duplicated;
+        self.flows_promoted += other.flows_promoted;
+        self.flows_demoted += other.flows_demoted;
+        self.fluid_bytes_modeled += other.fluid_bytes_modeled;
     }
 }
 
@@ -156,6 +191,7 @@ pub struct Simulator {
     taps: Vec<Box<dyn Tap>>,
     captures: Vec<Capture>,
     pending_connects: Vec<Option<PendingConnect>>,
+    fluid: FluidState,
     rng: StdRng,
     /// Aggregate counters.
     pub stats: SimStats,
@@ -177,6 +213,7 @@ impl Simulator {
             taps: Vec::new(),
             captures: Vec::new(),
             pending_connects: Vec::new(),
+            fluid: FluidState::new(config.bandwidth),
             rng: StdRng::seed_from_u64(seed),
             stats: SimStats::default(),
         }
@@ -356,6 +393,7 @@ impl Simulator {
             Event::SynTimeout { conn } => self.handle_syn_timeout(conn),
             Event::RemoteRefused { conn } => self.handle_remote_refused(conn),
             Event::Retransmit { pkt, attempt } => self.handle_retransmit(pkt, attempt),
+            Event::FluidAdvance { link, epoch } => self.handle_fluid_advance(link, epoch),
         }
         true
     }
@@ -641,6 +679,7 @@ impl Simulator {
                 let at = at.max(self.now);
                 self.push(at, Event::Timer { app: owner, token });
             }
+            Command::Transfer(conn, bytes) => self.do_transfer(owner, conn, bytes),
         }
     }
 
@@ -650,6 +689,12 @@ impl Simulator {
     }
 
     fn do_send(&mut self, owner: AppId, conn: ConnId, data: Vec<u8>) {
+        if self.conns.get(conn).is_some_and(|c| c.fluid) {
+            // A packet-fidelity send while the tail of an earlier
+            // transfer is still fluid: demote first so the wire stream
+            // stays in byte order.
+            self.demote_and_flush(conn);
+        }
         let Some(c) = self.conns.get(conn) else {
             return;
         };
@@ -714,6 +759,11 @@ impl Simulator {
     }
 
     fn do_fin(&mut self, owner: AppId, conn: ConnId) {
+        if self.conns.get(conn).is_some_and(|c| c.fluid) {
+            // Teardown is a fingerprint-relevant edge: flush the fluid
+            // remainder as packets so the FIN follows the data.
+            self.demote_and_flush(conn);
+        }
         let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
@@ -752,6 +802,11 @@ impl Simulator {
     }
 
     fn do_rst(&mut self, owner: AppId, conn: ConnId) {
+        if self.conns.get(conn).is_some_and(|c| c.fluid) {
+            // An abort discards the un-sent remainder; only service
+            // already rendered by the link is credited.
+            self.demote_and_discard(conn);
+        }
         let Some(c) = self.conns.get_mut(conn) else {
             return;
         };
@@ -780,6 +835,179 @@ impl Simulator {
             Bytes::new(),
             Duration::ZERO,
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Hybrid engine: bulk transfers, promotion, demotion
+    // ------------------------------------------------------------------
+
+    /// Handle [`Command::Transfer`]: emit the detection-relevant head of
+    /// the transfer at packet fidelity, then (hybrid engine, eligible
+    /// connection) promote the tail into the fluid model.
+    fn do_transfer(&mut self, owner: AppId, conn: ConnId, total: u64) {
+        if total == 0 {
+            return;
+        }
+        if self.conns.get(conn).is_some_and(|c| c.fluid) {
+            // Back-to-back transfers: flush the previous tail first so
+            // payload offsets stay contiguous on the wire.
+            self.demote_and_flush(conn);
+        }
+        let Some(c) = self.conns.get(conn) else {
+            return;
+        };
+        if c.is_closed() {
+            return;
+        }
+        let from_server = Self::is_server_side(c, owner);
+        let (src_region, dst_region) = if from_server {
+            (c.server_region, c.client_region)
+        } else {
+            (c.client_region, c.server_region)
+        };
+        let link = LinkId::between(src_region, dst_region);
+        // Shaped clients (brdgrd window clamping) must stay at packet
+        // fidelity: the segment sizes ARE the observable under study.
+        let shaped = !from_server && c.client_send_cap.is_some();
+        let seg = if from_server {
+            self.config.mss
+        } else {
+            match c.client_send_cap {
+                Some(w) => (w as usize).clamp(1, self.config.mss),
+                None => self.config.mss,
+            }
+        };
+        let fluidize = self.config.engine == EngineMode::Hybrid
+            && c.state == ConnState::Established
+            && !shaped
+            && self.config.impairment.is_noop()
+            && self.fluid.can_promote(link);
+        let phase = if fluidize {
+            (u64::from(self.config.packet_phase_segments.max(1)))
+                .saturating_mul(seg as u64)
+                .min(total)
+        } else {
+            total
+        };
+        let tail = total - phase;
+        let (phase, tail) = if fluidize && tail >= self.config.fluid_min_bytes {
+            (phase, tail)
+        } else {
+            (total, 0)
+        };
+        let mut head = vec![0u8; phase as usize];
+        flow::fill_bulk(&mut head, conn, 0);
+        self.do_send(owner, conn, head);
+        if tail == 0 {
+            // The whole transfer went out at packet fidelity; from the
+            // sender's perspective it is complete once it is on the
+            // wire (segments are in flight, pacing already applied).
+            self.dispatch(owner, AppEvent::BulkDelivered { conn, bytes: total });
+            return;
+        }
+        self.stats.flows_promoted += 1;
+        if let Some(c) = self.conns.get_mut(conn) {
+            c.fluid = true;
+        }
+        let resched = self
+            .fluid
+            .promote(self.now, conn, link, tail, total, from_server, owner);
+        self.apply_resched(resched);
+    }
+
+    /// Schedule the (epoch-guarded) next fluid completion check.
+    fn apply_resched(&mut self, r: flow::Resched) {
+        if let Some((link, epoch, at)) = r {
+            let at = at.max(self.now);
+            self.push(at, Event::FluidAdvance { link, epoch });
+        }
+    }
+
+    /// Advance the sender's wire sequence number past bytes the fluid
+    /// model delivered, so post-demotion packets (resumed data, FIN)
+    /// carry the sequence numbers the packet engine would have used.
+    fn credit_fluid_delivery(&mut self, conn: ConnId, from_server: bool, bytes: u64) {
+        if let Some(c) = self.conns.get_mut(conn) {
+            if from_server {
+                c.server_seq = c.server_seq.wrapping_add(bytes as u32);
+            } else {
+                c.client_seq = c.client_seq.wrapping_add(bytes as u32);
+                c.client_bytes_seen = c.client_bytes_seen.saturating_add(bytes as usize);
+            }
+        }
+    }
+
+    /// Demote `conn` out of the fluid model, crediting service already
+    /// rendered, and flush the remaining bytes as packets. The transfer
+    /// then completes immediately from the sender's perspective
+    /// ([`AppEvent::BulkDelivered`]), like an all-packet transfer.
+    fn demote_and_flush(&mut self, conn: ConnId) {
+        let Some((s, resched)) = self.fluid.settle(self.now, conn) else {
+            if let Some(c) = self.conns.get_mut(conn) {
+                c.fluid = false;
+            }
+            return;
+        };
+        if let Some(c) = self.conns.get_mut(conn) {
+            c.fluid = false;
+        }
+        self.stats.flows_demoted += 1;
+        self.stats.fluid_bytes_modeled += s.delivered;
+        self.credit_fluid_delivery(conn, s.from_server, s.delivered);
+        self.apply_resched(resched);
+        if s.remaining > 0 {
+            let mut tail = vec![0u8; s.remaining as usize];
+            flow::fill_bulk(&mut tail, conn, s.total - s.remaining);
+            self.do_send(s.sender, conn, tail);
+        }
+        self.dispatch(
+            s.sender,
+            AppEvent::BulkDelivered {
+                conn,
+                bytes: s.total,
+            },
+        );
+    }
+
+    /// Demote `conn` out of the fluid model for an abort: service
+    /// already rendered is credited, the remainder is discarded, and no
+    /// completion event fires (the transfer did not complete).
+    fn demote_and_discard(&mut self, conn: ConnId) {
+        let Some((s, resched)) = self.fluid.settle(self.now, conn) else {
+            if let Some(c) = self.conns.get_mut(conn) {
+                c.fluid = false;
+            }
+            return;
+        };
+        if let Some(c) = self.conns.get_mut(conn) {
+            c.fluid = false;
+        }
+        self.stats.flows_demoted += 1;
+        self.stats.fluid_bytes_modeled += s.delivered;
+        self.credit_fluid_delivery(conn, s.from_server, s.delivered);
+        self.apply_resched(resched);
+    }
+
+    /// A [`Event::FluidAdvance`] fired: collect ripe completions and
+    /// deliver them.
+    fn handle_fluid_advance(&mut self, link: LinkId, epoch: u64) {
+        let mut done: Vec<Completion> = Vec::new();
+        let resched = self.fluid.on_advance(self.now, link, epoch, &mut done);
+        self.apply_resched(resched);
+        for comp in done {
+            if let Some(c) = self.conns.get_mut(comp.conn) {
+                c.fluid = false;
+            }
+            self.stats.fluid_bytes_modeled += comp.bytes;
+            self.credit_fluid_delivery(comp.conn, comp.from_server, comp.bytes);
+            self.dispatch(
+                comp.sender,
+                AppEvent::BulkDelivered {
+                    conn: comp.conn,
+                    bytes: comp.total,
+                },
+            );
+        }
     }
 
     fn open_connection(
@@ -835,6 +1063,7 @@ impl Simulator {
             client_send_cap: None,
             client_bytes_seen: 0,
             client_sent_data: false,
+            fluid: false,
             close_reason: None,
             reorder,
         };
@@ -916,6 +1145,17 @@ impl Simulator {
     /// Interpret one in-order (or pre-sequencer control) packet.
     fn deliver_ordered(&mut self, pkt: Packet) {
         let conn = pkt.conn;
+        if (pkt.flags.rst || pkt.flags.fin) && self.conns.get(conn).is_some_and(|c| c.fluid) {
+            // A wire event that demands packet fidelity while a fluid
+            // transfer is in flight: demote before interpreting it. An
+            // incoming RST aborts the transfer (remainder discarded); a
+            // peer FIN only half-closes, so the remainder still flushes.
+            if pkt.flags.rst {
+                self.demote_and_discard(conn);
+            } else {
+                self.demote_and_flush(conn);
+            }
+        }
         let Some(c) = self.conns.get_mut(conn) else {
             return;
         };

@@ -48,7 +48,7 @@ impl App for Script {
             AppEvent::ConnectFailed { refused, .. } => {
                 self.log.borrow_mut().push(format!("failed:{refused}"))
             }
-            AppEvent::Timer { .. } => {}
+            AppEvent::Timer { .. } | AppEvent::BulkDelivered { .. } => {}
         }
     }
 }

@@ -201,6 +201,7 @@ impl App for SsServerApp {
                     _ => {}
                 }
             }
+            AppEvent::BulkDelivered { .. } => {}
         }
     }
 }

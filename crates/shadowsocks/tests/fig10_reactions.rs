@@ -29,17 +29,13 @@ enum Immediate {
 }
 
 fn classify(actions: &[ServerAction]) -> Immediate {
-    for a in actions {
-        match a {
-            ServerAction::CloseRst => return Immediate::Rst,
-            ServerAction::CloseFin => return Immediate::Fin,
-            ServerAction::ConnectTarget(_) => return Immediate::Connect,
-            ServerAction::SendToClient(_) | ServerAction::RelayToTarget(_) => {
-                return Immediate::Data
-            }
-        }
+    match actions.first() {
+        Some(ServerAction::CloseRst) => Immediate::Rst,
+        Some(ServerAction::CloseFin) => Immediate::Fin,
+        Some(ServerAction::ConnectTarget(_)) => Immediate::Connect,
+        Some(ServerAction::SendToClient(_) | ServerAction::RelayToTarget(_)) => Immediate::Data,
+        None => Immediate::Wait,
     }
-    Immediate::Wait
 }
 
 fn probe_once(server: &mut ServerConn, payload: &[u8]) -> Immediate {

@@ -20,5 +20,5 @@ pub mod drivers;
 pub mod payload;
 pub mod sites;
 
-pub use drivers::RandomDataClient;
+pub use drivers::{BulkTransferClient, RandomDataClient};
 pub use payload::{entropy_payload, http_request, tls_client_hello};
