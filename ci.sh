@@ -40,6 +40,16 @@ echo "==> bench-report --check BENCH_scale.json"
 # 100k-flow speedup must hold the >= 10x bar.
 ./target/release/bench-report --check BENCH_scale.json
 
+echo "==> exp-baserate --quick smoke"
+# Mixed-traffic smoke: one 5k-background mix point against the full
+# GFW under the hybrid engine; every flow must be inspected.
+./target/release/exp-baserate --quick > /dev/null
+
+echo "==> bench-report --check BENCH_baserate.json"
+# The tracked mixed-traffic trajectory: well-formed, and the 100k-flow
+# speedup must hold the >= 9x bar (0.9x the pure-bulk scale bar).
+./target/release/bench-report --check BENCH_baserate.json
+
 if [ "${GFWSIM_BENCH_DEBUG_ASSERT:-0}" = "1" ]; then
     echo "==> bench-report rebuild with debug assertions (GFWSIM_BENCH_DEBUG_ASSERT=1)"
     # Opt-in paranoia mode: rerun the perf smoke with debug assertions

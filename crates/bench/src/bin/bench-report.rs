@@ -398,6 +398,43 @@ fn check_scale_file(text: &str) -> Vec<String> {
     problems
 }
 
+/// Configurations tracked in `BENCH_baserate.json` (see `exp-baserate`).
+const BASERATE_STEMS: &[&str] = &["mix_100k_packet", "mix_100k_hybrid", "mix_1m_hybrid"];
+
+/// Acceptance bar for the mixed-traffic workload: hybrid flows/sec at
+/// 100k flows must beat the packet engine by at least this factor —
+/// 0.9× the pure-bulk scale bar, since the mix spends a larger share
+/// of its packets on handshakes the hybrid engine cannot collapse.
+const BASERATE_MIN_SPEEDUP_100K: f64 = 9.0;
+
+/// Validate a BENCH_baserate.json (from `exp-baserate --bench`):
+/// schema marker, flows/sec and peak RSS present and positive for
+/// every tracked configuration, and the 100k-flow mixed-traffic
+/// speedup at or above the acceptance bar.
+fn check_baserate_file(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if extract_number(text, "schema") != Some(1.0) {
+        problems.push("missing or unsupported \"schema\" (want 1)".to_string());
+    }
+    for stem in BASERATE_STEMS {
+        for metric in ["flows_per_sec", "rss_kb"] {
+            let key = format!("{stem}_{metric}");
+            match extract_number(text, &key) {
+                Some(v) if v.is_finite() && v > 0.0 => {}
+                _ => problems.push(format!("\"{key}\" is not a positive number")),
+            }
+        }
+    }
+    match extract_number(text, "speedup_mix_100k") {
+        Some(v) if v >= BASERATE_MIN_SPEEDUP_100K => {}
+        Some(v) => problems.push(format!(
+            "\"speedup_mix_100k\" {v} below the {BASERATE_MIN_SPEEDUP_100K}x acceptance bar"
+        )),
+        None => problems.push("missing \"speedup_mix_100k\"".to_string()),
+    }
+    problems
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -426,7 +463,9 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let problems = if text.contains("\"bench\": \"scale\"") {
+        let problems = if text.contains("\"bench\": \"baserate\"") {
+            check_baserate_file(&text)
+        } else if text.contains("\"bench\": \"scale\"") {
             check_scale_file(&text)
         } else {
             check_file(&text)
@@ -598,6 +637,47 @@ mod tests {
         let problems = check_scale_file(&body);
         assert!(
             problems.iter().any(|p| p.contains("hybrid_1m")),
+            "{problems:?}"
+        );
+    }
+
+    fn fake_baserate_json(speedup: f64) -> String {
+        let mut s = String::from(
+            "{\n  \"schema\": 1,\n  \"bench\": \"baserate\",\n  \"mode\": \"full\",\n",
+        );
+        for stem in BASERATE_STEMS {
+            s.push_str(&format!("  \"{stem}_flows_per_sec\": 1000.0,\n"));
+            s.push_str(&format!("  \"{stem}_rss_kb\": 5000,\n"));
+        }
+        s.push_str(&format!("  \"speedup_mix_100k\": {speedup:.2}\n}}\n"));
+        s
+    }
+
+    #[test]
+    fn baserate_json_passes_check() {
+        let body = fake_baserate_json(12.0);
+        assert!(
+            check_baserate_file(&body).is_empty(),
+            "{:?}",
+            check_baserate_file(&body)
+        );
+    }
+
+    #[test]
+    fn baserate_speedup_below_bar_is_rejected() {
+        let problems = check_baserate_file(&fake_baserate_json(4.0));
+        assert!(
+            problems.iter().any(|p| p.contains("speedup_mix_100k")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn baserate_missing_config_is_rejected() {
+        let body = fake_baserate_json(12.0).replace("mix_1m_hybrid", "mix_2m_hybrid");
+        let problems = check_baserate_file(&body);
+        assert!(
+            problems.iter().any(|p| p.contains("mix_1m_hybrid")),
             "{problems:?}"
         );
     }

@@ -19,15 +19,63 @@ use crate::probe::{ProbeRecord, Reaction};
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use netsim::app::{App, AppEvent, AppId, Ctx};
 use netsim::conn::ConnId;
-use netsim::packet::Packet;
+use netsim::packet::{Ipv4, Packet, SocketAddr};
 use netsim::sim::Simulator;
 use netsim::tap::{Tap, TapCtx, Verdict as TapVerdict};
 use netsim::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+
+/// Ground-truth-aware outcome counters for the passive stage.
+///
+/// Experiments that know which servers actually run Shadowsocks label
+/// them via [`GfwState::label_shadowsocks_server`]; the tap then
+/// attributes every first-payload store decision to a true/false
+/// bucket, which is what the base-rate experiments read to compute
+/// detector precision and recall. Without labels every decision lands
+/// in a `*_false` bucket (the GFW itself never knows the truth — these
+/// counters exist purely for evaluation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerdictCounters {
+    /// First-data payloads inspected (one per connection).
+    pub inspected: u64,
+    /// Inspected payloads exempted by the plaintext-protocol whitelist.
+    pub exempt: u64,
+    /// Stored for replay, destination labelled Shadowsocks (true
+    /// positives).
+    pub stored_true: u64,
+    /// Stored for replay, destination not labelled (false positives).
+    pub stored_false: u64,
+    /// Not stored although the destination is labelled (false
+    /// negatives at the per-connection level).
+    pub missed_true: u64,
+    /// Not stored, destination not labelled (true negatives).
+    pub passed_false: u64,
+}
+
+impl VerdictCounters {
+    /// Stored decisions: the detector's positive count.
+    pub fn positives(&self) -> u64 {
+        self.stored_true.wrapping_add(self.stored_false)
+    }
+
+    /// Precision of the store decision: TP / (TP + FP). `None` when
+    /// nothing was stored.
+    pub fn precision(&self) -> Option<f64> {
+        let p = self.positives();
+        (p > 0).then(|| self.stored_true as f64 / p as f64)
+    }
+
+    /// Recall of the store decision: TP / (TP + FN). `None` when no
+    /// labelled traffic was inspected.
+    pub fn recall(&self) -> Option<f64> {
+        let t = self.stored_true.wrapping_add(self.missed_true);
+        (t > 0).then(|| self.stored_true as f64 / t as f64)
+    }
+}
 
 /// Per-connection GFW bookkeeping, one map entry per connection the tap
 /// still cares about. Collapsing the former `own_conns` + `seen_data`
@@ -75,6 +123,13 @@ pub struct GfwState {
     conn_track: HashMap<ConnId, ConnTrack>,
     /// First-data packets inspected (trigger candidates).
     pub inspected: u64,
+    /// Ground-truth-aware store-decision outcomes (evaluation only).
+    verdicts: VerdictCounters,
+    /// Ground-truth labels: destinations that really run Shadowsocks.
+    truth: HashSet<Ipv4>,
+    /// Stored-payload counts keyed by destination endpoint, for
+    /// breaking down the false-positive surface by background protocol.
+    stored_by_server: HashMap<SocketAddr, u64>,
     rng: StdRng,
     controller: AppId,
 }
@@ -108,6 +163,9 @@ impl Gfw {
             probe_log: Vec::new(),
             conn_track: HashMap::new(),
             inspected: 0,
+            verdicts: VerdictCounters::default(),
+            truth: HashSet::new(),
+            stored_by_server: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
             controller: AppId(u32::MAX),
         }));
@@ -164,7 +222,24 @@ impl Tap for GfwTap {
                 st.scheduler.on_candidate(server, feats.len);
             }
             let store = feats.store_probability > 0.0 && st.rng.gen_bool(feats.store_probability);
+            // Evaluation bookkeeping: attribute the decision against
+            // the experiment's ground-truth labels. Never feeds back
+            // into GFW behaviour.
+            st.verdicts.inspected = st.verdicts.inspected.wrapping_add(1);
+            if feats.exempt {
+                st.verdicts.exempt = st.verdicts.exempt.wrapping_add(1);
+            }
+            let labelled = st.truth.contains(&server.0);
+            let bucket = match (store, labelled) {
+                (true, true) => &mut st.verdicts.stored_true,
+                (true, false) => &mut st.verdicts.stored_false,
+                (false, true) => &mut st.verdicts.missed_true,
+                (false, false) => &mut st.verdicts.passed_false,
+            };
+            *bucket = bucket.wrapping_add(1);
             if store {
+                let count = st.stored_by_server.entry(server).or_insert(0);
+                *count = count.wrapping_add(1);
                 let GfwState { scheduler, rng, .. } = &mut *st;
                 scheduler.on_stored_payload(ctx.now, server, &pkt.payload, rng);
                 if let Some(due) = st.scheduler.next_due() {
@@ -385,5 +460,23 @@ impl GfwState {
     /// Timestamp clock of prober process `i` (for TSval ground truth).
     pub fn process_clock(&self, i: usize) -> netsim::host::TsClock {
         self.fleet.processes[i].clock
+    }
+
+    /// Label `ip` as a genuine Shadowsocks server for evaluation.
+    /// Store decisions towards it count as true positives / false
+    /// negatives in [`GfwState::verdict_counters`]. The label is
+    /// invisible to the detection pipeline itself.
+    pub fn label_shadowsocks_server(&mut self, ip: Ipv4) {
+        self.truth.insert(ip);
+    }
+
+    /// Ground-truth-aware outcome counters (see [`VerdictCounters`]).
+    pub fn verdict_counters(&self) -> VerdictCounters {
+        self.verdicts
+    }
+
+    /// How many payloads destined to `server` the passive stage stored.
+    pub fn stored_towards(&self, server: SocketAddr) -> u64 {
+        self.stored_by_server.get(&server).copied().unwrap_or(0)
     }
 }

@@ -43,5 +43,5 @@ pub mod passive;
 pub mod probe;
 pub mod scheduler;
 
-pub use gfw::{Gfw, GfwConfig, GfwHandle};
+pub use gfw::{Gfw, GfwConfig, GfwHandle, VerdictCounters};
 pub use probe::{ProbeKind, ProbeRecord, Reaction};

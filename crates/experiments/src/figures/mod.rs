@@ -3,6 +3,7 @@
 //! experiment as a (id, title, render) spec for the run engine.
 
 pub mod ablation;
+pub mod baserate;
 pub mod battery;
 pub mod blocking;
 pub mod fep;
@@ -150,5 +151,10 @@ pub const REGISTRY: &[Entry] = &[
         id: "scale",
         title: "Extension: hybrid engine scale",
         render: |s, seed| scale::run(s, seed).to_string(),
+    },
+    Entry {
+        id: "baserate",
+        title: "Extension: base-rate sweep",
+        render: |s, seed| baserate::run(s, seed).to_string(),
     },
 ];

@@ -1,0 +1,68 @@
+//! Engine/worker invariance for the base-rate sweep: `exp-baserate`
+//! must be **byte-identical** under the pure packet engine and the
+//! hybrid engine (the session default), at any worker count.
+//!
+//! The mix population is exactly the workload the hybrid engine
+//! rewrites most aggressively — every background bulk tail is a
+//! promoted fluid transfer — so this is the sharpest equivalence test
+//! in the suite: a single shared-RNG draw inside the mix apps, or a
+//! store decision influenced by segmentation, would diverge here.
+//! Expectations are the *committed* golden from `tests/golden/`,
+//! intentionally not re-blessed by this test.
+
+use std::process::Command;
+
+/// Run `exp-baserate` with the given engine selection and worker
+/// count, and compare stdout byte-for-byte against the golden.
+fn check(engine: Option<&str>, jobs: &str) {
+    let bin = env!("CARGO_BIN_EXE_exp-baserate");
+    let mut cmd = Command::new(bin);
+    cmd.args(["--jobs", jobs]).env_remove("GFWSIM_JOBS");
+    match engine {
+        Some(e) => {
+            cmd.env("GFWSIM_ENGINE", e);
+        }
+        None => {
+            cmd.env_remove("GFWSIM_ENGINE");
+        }
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("spawn exp-baserate: {e}"));
+    assert!(
+        out.status.success(),
+        "exp-baserate (engine {engine:?}, jobs {jobs}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("utf-8 stdout");
+
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/exp-baserate.txt");
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+
+    if got != want {
+        let line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+        panic!(
+            "exp-baserate under engine {engine:?} (jobs {jobs}) diverged from \
+             the committed golden at line {line}\n\
+             --- got ---\n{}\n--- want ---\n{}",
+            got.lines().nth(line - 1).unwrap_or("<eof>"),
+            want.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn exp_baserate_is_engine_and_jobs_invariant() {
+    for engine in [Some("packet"), None] {
+        for jobs in ["1", "4"] {
+            check(engine, jobs);
+        }
+    }
+}

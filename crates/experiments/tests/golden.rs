@@ -80,3 +80,8 @@ fn exp_table4_matches_golden() {
 fn exp_fig7_matches_golden() {
     check(env!("CARGO_BIN_EXE_exp-fig7"), "exp-fig7");
 }
+
+#[test]
+fn exp_baserate_matches_golden() {
+    check(env!("CARGO_BIN_EXE_exp-baserate"), "exp-baserate");
+}

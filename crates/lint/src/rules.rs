@@ -1129,6 +1129,7 @@ pub const W1_HOT_PATHS: &[&str] = &[
     "crates/netsim/src/flow.rs",
     "crates/core/src/passive.rs",
     "crates/shadowsocks/src/wire.rs",
+    "crates/trafficgen/src/profiles.rs",
 ];
 
 /// Is `ty` text a float type?

@@ -26,10 +26,26 @@ pub enum Sample {
 
 impl Sample {
     /// Draw a value.
+    ///
+    /// A zero-width `Uniform(v, v)` returns `v` without touching the
+    /// RNG (so it is interchangeable with `Fixed(v)` in deterministic
+    /// schedules); an empty support (`lo > hi`) panics with a clear
+    /// message instead of whatever the RNG backend does with an
+    /// inverted range.
     pub fn draw(&self, rng: &mut impl Rng) -> f64 {
         match *self {
             Sample::Fixed(v) => v,
-            Sample::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+            Sample::Uniform(lo, hi) => {
+                assert!(
+                    lo <= hi,
+                    "Sample::Uniform has empty support: lo {lo} > hi {hi}"
+                );
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
         }
     }
 }
@@ -243,6 +259,25 @@ mod tests {
             .filter(|p| p.flags.fin && p.src.0 == client)
             .count();
         assert_eq!(client_fins, 50);
+    }
+
+    #[test]
+    fn zero_width_uniform_is_fixed_and_skips_the_rng() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let before: u64 = rng.clone().gen();
+        assert_eq!(Sample::Uniform(42.0, 42.0).draw(&mut rng), 42.0);
+        // The RNG stream is untouched: the next draw matches the clone.
+        assert_eq!(rng.gen::<u64>(), before);
+        assert_eq!(Sample::Fixed(42.0).draw(&mut rng), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn inverted_uniform_panics_clearly() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        Sample::Uniform(10.0, 1.0).draw(&mut rng);
     }
 
     #[test]

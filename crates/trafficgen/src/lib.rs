@@ -17,8 +17,12 @@
 
 pub mod browse;
 pub mod drivers;
+pub mod mix;
 pub mod payload;
+pub mod profiles;
 pub mod sites;
 
 pub use drivers::{BulkTransferClient, RandomDataClient};
+pub use mix::{MixHandles, MixSpec, TrafficMix};
 pub use payload::{entropy_payload, http_request, tls_client_hello};
+pub use profiles::Profile;

@@ -1,7 +1,24 @@
 //! Pure payload generators: entropy-controlled random data (Table 4)
-//! and plaintext protocol first-packets.
+//! and structured protocol first-packets.
+//!
+//! The structured builders (`tls_client_hello_realistic`, `ssh_banner`,
+//! `dns_tcp_query`, …) produce wire-accurate byte layouts — correct
+//! record framing, extension lists with realistic lengths, length
+//! prefixes — because the passive detector's exemption rules key on
+//! exact prefixes and the base-rate experiments need the surrounding
+//! bytes to carry protocol-typical entropy, not uniform noise.
 
 use rand::Rng;
+
+/// TLS protocol generation for the hello builders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TlsVersion {
+    /// TLS 1.2: classic ClientHello, no key_share, natural length.
+    V1_2,
+    /// TLS 1.3: supported_versions + key_share, padded to 517 bytes
+    /// the way Chrome-lineage stacks do.
+    V1_3,
+}
 
 /// Generate `len` bytes with per-byte Shannon entropy close to
 /// `target_bits` (0.0–8.0).
@@ -70,6 +87,343 @@ pub fn tls_client_hello(len: usize, rng: &mut impl Rng) -> Vec<u8> {
     rng.fill(&mut body[..]);
     rec.extend_from_slice(&body);
     rec
+}
+
+/// Append one TLS extension (`id`, length-prefixed `body`) to `out`.
+fn put_ext(out: &mut Vec<u8>, id: u16, body: &[u8]) {
+    out.extend_from_slice(&id.to_be_bytes());
+    out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    out.extend_from_slice(body);
+}
+
+/// A wire-accurate ClientHello: correct record + handshake framing,
+/// 32-byte random, 32-byte legacy session id, a realistic cipher-suite
+/// list, and an extension block (SNI for `sni`, supported_groups,
+/// signature_algorithms, ALPN, session_ticket; plus supported_versions,
+/// psk_key_exchange_modes and an x25519 key_share under
+/// [`TlsVersion::V1_3`]).
+///
+/// `pad_to` (total record length, bytes) appends a zero-filled padding
+/// extension — the RFC 7685 mechanism Chrome uses to pin ClientHellos
+/// at 517 bytes. `None` leaves the natural length (TLS 1.2 style).
+pub fn tls_client_hello_realistic(
+    sni: &str,
+    version: TlsVersion,
+    pad_to: Option<usize>,
+    rng: &mut impl Rng,
+) -> Vec<u8> {
+    let mut hs = Vec::with_capacity(512);
+    hs.extend_from_slice(&[0x03, 0x03]); // legacy_version
+    let mut random = [0u8; 32];
+    rng.fill(&mut random[..]);
+    hs.extend_from_slice(&random);
+    hs.push(32); // legacy_session_id
+    let mut session = [0u8; 32];
+    rng.fill(&mut session[..]);
+    hs.extend_from_slice(&session);
+    let suites: &[u16] = match version {
+        TlsVersion::V1_3 => &[
+            0x1301, 0x1302, 0x1303, 0xc02b, 0xc02f, 0xc02c, 0xc030, 0xcca9, 0xcca8, 0x009c, 0x009d,
+            0x002f, 0x0035,
+        ],
+        TlsVersion::V1_2 => &[
+            0xc02b, 0xc02f, 0xc02c, 0xc030, 0xcca9, 0xcca8, 0xc013, 0xc014, 0x009c, 0x009d, 0x002f,
+            0x0035, 0x000a,
+        ],
+    };
+    hs.extend_from_slice(&((suites.len() * 2) as u16).to_be_bytes());
+    for s in suites {
+        hs.extend_from_slice(&s.to_be_bytes());
+    }
+    hs.extend_from_slice(&[0x01, 0x00]); // null compression only
+
+    let mut exts = Vec::with_capacity(256);
+    // server_name
+    let name = sni.as_bytes();
+    let mut sni_body = Vec::with_capacity(name.len() + 5);
+    sni_body.extend_from_slice(&((name.len() + 3) as u16).to_be_bytes());
+    sni_body.push(0); // host_name
+    sni_body.extend_from_slice(&(name.len() as u16).to_be_bytes());
+    sni_body.extend_from_slice(name);
+    put_ext(&mut exts, 0x0000, &sni_body);
+    // supported_groups: x25519, secp256r1, secp384r1
+    put_ext(
+        &mut exts,
+        0x000a,
+        &[0x00, 0x06, 0x00, 0x1d, 0x00, 0x17, 0x00, 0x18],
+    );
+    // ec_point_formats: uncompressed
+    put_ext(&mut exts, 0x000b, &[0x01, 0x00]);
+    // signature_algorithms
+    put_ext(
+        &mut exts,
+        0x000d,
+        &[
+            0x00, 0x10, 0x04, 0x03, 0x08, 0x04, 0x04, 0x01, 0x05, 0x03, 0x08, 0x05, 0x05, 0x01,
+            0x08, 0x06, 0x06, 0x01,
+        ],
+    );
+    // ALPN: h2, http/1.1
+    put_ext(&mut exts, 0x0010, b"\x00\x0c\x02h2\x08http/1.1");
+    // session_ticket (empty)
+    put_ext(&mut exts, 0x0023, &[]);
+    if version == TlsVersion::V1_3 {
+        // supported_versions: 1.3, 1.2
+        put_ext(&mut exts, 0x002b, &[0x04, 0x03, 0x04, 0x03, 0x03]);
+        // psk_key_exchange_modes: psk_dhe_ke
+        put_ext(&mut exts, 0x002d, &[0x01, 0x01]);
+        // key_share: one x25519 share
+        let mut share = [0u8; 32];
+        rng.fill(&mut share[..]);
+        let mut ks = Vec::with_capacity(38);
+        ks.extend_from_slice(&[0x00, 0x24, 0x00, 0x1d, 0x00, 0x20]);
+        ks.extend_from_slice(&share);
+        put_ext(&mut exts, 0x0033, &ks);
+    }
+    if let Some(total) = pad_to {
+        // record(5) + handshake hdr(4) + body + ext-block len(2) + a
+        // 4-byte padding-extension header.
+        let sans_padding = 5 + 4 + hs.len() + 2 + exts.len();
+        let pad = total.saturating_sub(sans_padding + 4);
+        put_ext(&mut exts, 0x0015, &vec![0u8; pad]);
+    }
+    hs.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    hs.extend_from_slice(&exts);
+
+    let mut rec = Vec::with_capacity(hs.len() + 9);
+    rec.extend_from_slice(&[0x16, 0x03, 0x01]);
+    rec.extend_from_slice(&((hs.len() + 4) as u16).to_be_bytes());
+    rec.push(0x01); // ClientHello
+    let hl = hs.len() as u32;
+    rec.extend_from_slice(&hl.to_be_bytes()[1..]); // 24-bit length
+    rec.extend_from_slice(&hs);
+    rec
+}
+
+/// A ServerHello-led response flight: record 1 is a wire-accurate
+/// ServerHello (echoing no session, picking a suite matching
+/// `version`); record 2 models the rest of the server's first flight —
+/// a Certificate chain under TLS 1.2, encrypted handshake records under
+/// TLS 1.3 — as a length-realistic high-entropy record.
+pub fn tls_server_flight(version: TlsVersion, rng: &mut impl Rng) -> Vec<u8> {
+    let mut hs = Vec::with_capacity(128);
+    hs.extend_from_slice(&[0x03, 0x03]);
+    let mut random = [0u8; 32];
+    rng.fill(&mut random[..]);
+    hs.extend_from_slice(&random);
+    hs.push(32);
+    let mut session = [0u8; 32];
+    rng.fill(&mut session[..]);
+    hs.extend_from_slice(&session);
+    let suite: u16 = match version {
+        TlsVersion::V1_3 => 0x1301,
+        TlsVersion::V1_2 => 0xc02f,
+    };
+    hs.extend_from_slice(&suite.to_be_bytes());
+    hs.push(0x00); // compression
+    let mut exts = Vec::new();
+    if version == TlsVersion::V1_3 {
+        put_ext(&mut exts, 0x002b, &[0x03, 0x04]);
+        let mut share = [0u8; 32];
+        rng.fill(&mut share[..]);
+        let mut ks = Vec::with_capacity(36);
+        ks.extend_from_slice(&[0x00, 0x1d, 0x00, 0x20]);
+        ks.extend_from_slice(&share);
+        put_ext(&mut exts, 0x0033, &ks);
+    }
+    hs.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    hs.extend_from_slice(&exts);
+
+    let mut out = Vec::with_capacity(hs.len() + 9);
+    out.extend_from_slice(&[0x16, 0x03, 0x03]);
+    out.extend_from_slice(&((hs.len() + 4) as u16).to_be_bytes());
+    out.push(0x02); // ServerHello
+    let hl = hs.len() as u32;
+    out.extend_from_slice(&hl.to_be_bytes()[1..]);
+    out.extend_from_slice(&hs);
+
+    // Rest of the flight.
+    let (kind, lo, hi) = match version {
+        TlsVersion::V1_2 => (0x16u8, 900usize, 2400usize), // Certificate…
+        TlsVersion::V1_3 => (0x17u8, 700, 2000),           // encrypted hs
+    };
+    let body_len = rng.gen_range(lo..=hi);
+    out.push(kind);
+    out.extend_from_slice(&[0x03, 0x03]);
+    out.extend_from_slice(&(body_len as u16).to_be_bytes());
+    let start = out.len();
+    out.resize(start + body_len, 0);
+    rng.fill(&mut out[start..]);
+    out
+}
+
+/// SSH identification strings seen in the wild; the generation pool for
+/// [`ssh_banner`].
+pub const SSH_BANNERS: &[&str] = &[
+    "SSH-2.0-OpenSSH_7.4",
+    "SSH-2.0-OpenSSH_8.2p1 Ubuntu-4ubuntu0.11",
+    "SSH-2.0-OpenSSH_8.9p1 Ubuntu-3ubuntu0.10",
+    "SSH-2.0-OpenSSH_9.6",
+    "SSH-2.0-dropbear_2022.83",
+    "SSH-2.0-libssh_0.10.5",
+];
+
+/// An SSH identification line (RFC 4253 §4.2): `SSH-2.0-…\r\n`, drawn
+/// from [`SSH_BANNERS`].
+pub fn ssh_banner(rng: &mut impl Rng) -> Vec<u8> {
+    let s = SSH_BANNERS[rng.gen_range(0..SSH_BANNERS.len())];
+    let mut out = Vec::with_capacity(s.len() + 2);
+    out.extend_from_slice(s.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// An SSH_MSG_KEXINIT binary packet (RFC 4253 §6): framed length,
+/// random cookie, ASCII algorithm name-lists, random padding. This is
+/// the server's (or client's) first binary packet after the banner.
+pub fn ssh_kexinit(rng: &mut impl Rng) -> Vec<u8> {
+    let mut body = Vec::with_capacity(600);
+    body.push(0x14); // SSH_MSG_KEXINIT
+    let mut cookie = [0u8; 16];
+    rng.fill(&mut cookie[..]);
+    body.extend_from_slice(&cookie);
+    let lists: &[&str] = &[
+        "curve25519-sha256,curve25519-sha256@libssh.org,ecdh-sha2-nistp256,\
+         diffie-hellman-group-exchange-sha256,diffie-hellman-group14-sha256",
+        "rsa-sha2-512,rsa-sha2-256,ecdsa-sha2-nistp256,ssh-ed25519",
+        "chacha20-poly1305@openssh.com,aes128-ctr,aes192-ctr,aes256-ctr,\
+         aes128-gcm@openssh.com,aes256-gcm@openssh.com",
+        "chacha20-poly1305@openssh.com,aes128-ctr,aes192-ctr,aes256-ctr,\
+         aes128-gcm@openssh.com,aes256-gcm@openssh.com",
+        "umac-64-etm@openssh.com,umac-128-etm@openssh.com,\
+         hmac-sha2-256-etm@openssh.com,hmac-sha2-512-etm@openssh.com",
+        "umac-64-etm@openssh.com,umac-128-etm@openssh.com,\
+         hmac-sha2-256-etm@openssh.com,hmac-sha2-512-etm@openssh.com",
+        "none,zlib@openssh.com",
+        "none,zlib@openssh.com",
+        "",
+        "",
+    ];
+    for l in lists {
+        body.extend_from_slice(&(l.len() as u32).to_be_bytes());
+        body.extend_from_slice(l.as_bytes());
+    }
+    body.push(0); // first_kex_packet_follows
+    body.extend_from_slice(&[0, 0, 0, 0]); // reserved
+                                           // Pad so packet_length + padding aligns to 8 (cipher block).
+    let unpadded = body.len() + 5;
+    let mut pad = 8 - (unpadded % 8);
+    if pad < 4 {
+        pad += 8;
+    }
+    let mut out = Vec::with_capacity(unpadded + pad);
+    out.extend_from_slice(&((body.len() + pad + 1) as u32).to_be_bytes());
+    out.push(pad as u8);
+    out.extend_from_slice(&body);
+    let start = out.len();
+    out.resize(start + pad, 0);
+    rng.fill(&mut out[start..]);
+    out
+}
+
+const DNS_TLDS: &[&str] = &["com", "net", "org", "io", "cn", "dev"];
+
+/// Write a random lowercase DNS label of `len` bytes into `out`.
+fn push_label(out: &mut Vec<u8>, len: usize, rng: &mut impl Rng) {
+    out.push(len as u8);
+    for _ in 0..len {
+        out.push(rng.gen_range(b'a'..=b'z'));
+    }
+}
+
+/// A DNS query carried over TCP (RFC 7766): 2-byte length prefix, then
+/// a standard header (RD set, one question, one EDNS0 OPT additional),
+/// a 2–3 label QNAME, and an A/AAAA question.
+pub fn dns_tcp_query(rng: &mut impl Rng) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(64);
+    let id: u16 = rng.gen();
+    msg.extend_from_slice(&id.to_be_bytes());
+    msg.extend_from_slice(&[0x01, 0x20]); // RD + AD
+    msg.extend_from_slice(&[0, 1, 0, 0, 0, 0, 0, 1]); // QD=1, AR=1
+                                                      // QNAME
+    if rng.gen_bool(0.4) {
+        push_label(&mut msg, 3, rng); // "www"-ish
+    }
+    push_label(&mut msg, rng.gen_range(4..=12), rng);
+    let tld = DNS_TLDS[rng.gen_range(0..DNS_TLDS.len())];
+    msg.push(tld.len() as u8);
+    msg.extend_from_slice(tld.as_bytes());
+    msg.push(0);
+    let qtype: u16 = if rng.gen_bool(0.7) { 1 } else { 28 }; // A / AAAA
+    msg.extend_from_slice(&qtype.to_be_bytes());
+    msg.extend_from_slice(&[0, 1]); // IN
+                                    // EDNS0 OPT: root name, type 41, udp size 1232, no options.
+    msg.extend_from_slice(&[0, 0, 41, 0x04, 0xd0, 0, 0, 0, 0, 0, 0]);
+    let mut out = Vec::with_capacity(msg.len() + 2);
+    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(&msg);
+    out
+}
+
+/// A DNS response over TCP: header with QR/RA set, the question echoed
+/// (fresh random QNAME — nobody correlates ids in the mix), and one
+/// A-record answer via name compression.
+pub fn dns_tcp_response(rng: &mut impl Rng) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(96);
+    let id: u16 = rng.gen();
+    msg.extend_from_slice(&id.to_be_bytes());
+    msg.extend_from_slice(&[0x81, 0x80]); // QR + RD + RA, NOERROR
+    msg.extend_from_slice(&[0, 1, 0, 1, 0, 0, 0, 0]); // QD=1, AN=1
+    push_label(&mut msg, rng.gen_range(4..=12), rng);
+    let tld = DNS_TLDS[rng.gen_range(0..DNS_TLDS.len())];
+    msg.push(tld.len() as u8);
+    msg.extend_from_slice(tld.as_bytes());
+    msg.push(0);
+    msg.extend_from_slice(&[0, 1, 0, 1]); // A, IN
+                                          // Answer: pointer to offset 12, A, IN, TTL, 4-byte address.
+    msg.extend_from_slice(&[0xc0, 0x0c, 0, 1, 0, 1]);
+    msg.extend_from_slice(&[0, 0, 0x0e, 0x10]); // TTL 3600
+    msg.extend_from_slice(&[0, 4]);
+    let addr: [u8; 4] = rng.gen();
+    msg.extend_from_slice(&addr);
+    let mut out = Vec::with_capacity(msg.len() + 2);
+    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(&msg);
+    out
+}
+
+/// An HTTP/1.1 200 response of roughly `len` bytes: realistic header
+/// block, then an HTML-ish low-entropy body filling the remainder.
+pub fn http_response(len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let etag: u32 = rng.gen();
+    let mut out = format!(
+        "HTTP/1.1 200 OK\r\nServer: nginx/1.18.0\r\n\
+         Content-Type: text/html; charset=utf-8\r\n\
+         ETag: \"{etag:08x}\"\r\nConnection: keep-alive\r\n\r\n"
+    )
+    .into_bytes();
+    out.extend_from_slice(b"<!doctype html><html><head><title>");
+    while out.len() < len {
+        // Lowercase words separated by spaces: text-like entropy.
+        let wl = rng.gen_range(2..=9);
+        for _ in 0..wl {
+            out.push(rng.gen_range(b'a'..=b'z'));
+        }
+        out.push(b' ');
+    }
+    out.truncate(len.max(64));
+    out
+}
+
+/// A QUIC-long-header-shaped payload: uniformly random bytes with the
+/// top two bits of byte 0 forced to `11` (long header form + fixed
+/// bit), the shape of an Initial packet seen mid-path. High entropy,
+/// not in any plaintext exemption class.
+pub fn quic_like_payload(len: usize, rng: &mut impl Rng) -> Vec<u8> {
+    let mut out = vec![0u8; len.max(1)];
+    rng.fill(&mut out[..]);
+    out[0] = 0xc0 | (out[0] & 0x3f);
+    out
 }
 
 #[cfg(test)]
@@ -142,5 +496,92 @@ mod tests {
         assert_eq!(rec[5], 0x01);
         let body_len = u16::from_be_bytes([rec[3], rec[4]]) as usize;
         assert_eq!(body_len, 512);
+    }
+
+    #[test]
+    fn realistic_hello_framing_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for (version, pad) in [(TlsVersion::V1_2, None), (TlsVersion::V1_3, Some(517))] {
+            let rec = tls_client_hello_realistic("www.example.org", version, pad, &mut rng);
+            assert_eq!(&rec[..3], &[0x16, 0x03, 0x01]);
+            let rec_len = u16::from_be_bytes([rec[3], rec[4]]) as usize;
+            assert_eq!(rec.len(), rec_len + 5, "record length field");
+            assert_eq!(rec[5], 0x01, "ClientHello type");
+            let hs_len = u32::from_be_bytes([0, rec[6], rec[7], rec[8]]) as usize;
+            assert_eq!(hs_len + 4, rec_len, "handshake length field");
+            if let Some(total) = pad {
+                assert_eq!(rec.len(), total, "padded to target");
+            }
+        }
+    }
+
+    #[test]
+    fn tls13_hello_pads_to_517_for_any_sni() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for sni in [
+            "a.io",
+            "www.wikipedia.org",
+            "cdn.very-long-host-name.example.com",
+        ] {
+            let rec = tls_client_hello_realistic(sni, TlsVersion::V1_3, Some(517), &mut rng);
+            assert_eq!(rec.len(), 517, "{sni}");
+        }
+    }
+
+    #[test]
+    fn server_flight_leads_with_server_hello() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for version in [TlsVersion::V1_2, TlsVersion::V1_3] {
+            let flight = tls_server_flight(version, &mut rng);
+            assert_eq!(&flight[..3], &[0x16, 0x03, 0x03]);
+            assert_eq!(flight[5], 0x02, "ServerHello type");
+            let rec1 = u16::from_be_bytes([flight[3], flight[4]]) as usize;
+            // A second record follows the ServerHello.
+            assert!(flight.len() > rec1 + 5 + 5);
+        }
+    }
+
+    #[test]
+    fn ssh_payloads_have_rfc4253_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let banner = ssh_banner(&mut rng);
+        assert!(banner.starts_with(b"SSH-2.0-"));
+        assert!(banner.ends_with(b"\r\n"));
+        let kex = ssh_kexinit(&mut rng);
+        let packet_len = u32::from_be_bytes([kex[0], kex[1], kex[2], kex[3]]) as usize;
+        assert_eq!(packet_len + 4, kex.len(), "framed length");
+        assert_eq!(kex[5], 0x14, "SSH_MSG_KEXINIT");
+        assert_eq!((packet_len + 4) % 8, 0, "block alignment");
+    }
+
+    #[test]
+    fn dns_tcp_messages_carry_correct_length_prefix() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let q = dns_tcp_query(&mut rng);
+            let plen = u16::from_be_bytes([q[0], q[1]]) as usize;
+            assert_eq!(plen + 2, q.len());
+            assert_eq!(q[0], 0, "length prefix high byte is 0 (short message)");
+            let r = dns_tcp_response(&mut rng);
+            let plen = u16::from_be_bytes([r[0], r[1]]) as usize;
+            assert_eq!(plen + 2, r.len());
+        }
+    }
+
+    #[test]
+    fn quic_like_payload_has_long_header_bits() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = quic_like_payload(600, &mut rng);
+        assert_eq!(p.len(), 600);
+        assert_eq!(p[0] & 0xc0, 0xc0);
+        assert!(shannon_entropy(&p) > 6.5);
+    }
+
+    #[test]
+    fn http_response_is_headed_and_sized() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let r = http_response(500, &mut rng);
+        assert!(r.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        assert_eq!(r.len(), 500);
     }
 }
