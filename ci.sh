@@ -63,10 +63,17 @@ if [ "${GFWSIM_BENCH_DEBUG_ASSERT:-0}" = "1" ]; then
 fi
 
 echo "==> crypto fast-path differential properties"
-# Batched ChaCha20/Poly1305, tabled GHASH and the zero-copy codec must
-# stay byte-identical to the scalar/Vec reference paths.
+# Batched ChaCha20/Poly1305, tabled GHASH, the zero-copy codec and the
+# AES-NI/CLMUL/SIMD hardware paths must stay byte-identical to the
+# scalar reference paths.
 cargo test -q -p sscrypto --test crypto_props
 cargo test -q -p shadowsocks --test wire_props
+
+echo "==> forced-scalar crypto/entropy suites (GFWSIM_NO_HWCRYPTO=1)"
+# The scalar oracles are shipping code, not test fixtures: the full
+# sscrypto and analysis suites must pass with hardware dispatch masked
+# exactly as they do with it active.
+GFWSIM_NO_HWCRYPTO=1 cargo test -q -p sscrypto -p analysis
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace

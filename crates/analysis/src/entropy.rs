@@ -42,6 +42,42 @@ fn xlogx(c: usize) -> f64 {
 /// logarithm, which is what makes first-payload scoring cheap enough
 /// to run on every cross-border data packet.
 pub fn shannon_entropy(data: &[u8]) -> f64 {
+    entropy_impl(data, crate::simd::avx2_enabled())
+}
+
+/// Portable-only twin of [`shannon_entropy`]: the differential oracle
+/// for the AVX2 histogram path. Bit-identical to the default entry
+/// point — the floating-point accumulation is shared and sequential;
+/// only integer byte counting differs between the paths.
+#[doc(hidden)]
+pub fn shannon_entropy_scalar(data: &[u8]) -> f64 {
+    entropy_impl(data, false)
+}
+
+/// Byte histogram of `data` via four interleaved sub-histograms
+/// (breaking the per-byte dependency on a single counter array), merged
+/// into `counts`. The portable counterpart of `simd::fill_histogram`.
+fn fill_histogram_portable(data: &[u8], counts: &mut [u32; 256]) {
+    let mut sub = [[0u32; 256]; 4];
+    let mut chunks = data.chunks_exact(4);
+    for quad in chunks.by_ref() {
+        sub[0][quad[0] as usize] += 1;
+        sub[1][quad[1] as usize] += 1;
+        sub[2][quad[2] as usize] += 1;
+        sub[3][quad[3] as usize] += 1;
+    }
+    for &b in chunks.remainder() {
+        sub[0][b as usize] += 1;
+    }
+    let [s0, s1, s2, s3] = sub;
+    for (slot, (((&c0, &c1), &c2), &c3)) in
+        counts.iter_mut().zip(s0.iter().zip(&s1).zip(&s2).zip(&s3))
+    {
+        *slot = c0 + c1 + c2 + c3;
+    }
+}
+
+fn entropy_impl(data: &[u8], hw: bool) -> f64 {
     let n = data.len();
     if n == 0 {
         return 0.0;
@@ -63,24 +99,24 @@ pub fn shannon_entropy(data: &[u8]) -> f64 {
             }
         }
     } else {
-        // Long payloads: four interleaved sub-histograms break the
-        // per-byte dependency on a single counter array; the merge is
-        // fused into the xlogx accumulation so the combined counts are
-        // never materialized.
-        let mut sub = [[0u32; 256]; 4];
-        let mut chunks = data.chunks_exact(4);
-        for quad in chunks.by_ref() {
-            sub[0][quad[0] as usize] += 1;
-            sub[1][quad[1] as usize] += 1;
-            sub[2][quad[2] as usize] += 1;
-            sub[3][quad[3] as usize] += 1;
+        // Long payloads: interleaved sub-histograms — AVX2-merged when
+        // the CPU allows it, portable otherwise. Only the integer
+        // counting is dispatched; the xlogx accumulation below is the
+        // same sequential loop on both paths, so entropy scores are
+        // bit-identical (see `crate::simd`).
+        let mut counts = [0u32; 256];
+        #[cfg(target_arch = "x86_64")]
+        if hw {
+            crate::simd::fill_histogram(data, &mut counts);
+        } else {
+            fill_histogram_portable(data, &mut counts);
         }
-        for &b in chunks.remainder() {
-            sub[0][b as usize] += 1;
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = hw;
+            fill_histogram_portable(data, &mut counts);
         }
-        let [s0, s1, s2, s3] = sub;
-        for (((&c0, &c1), &c2), &c3) in s0.iter().zip(&s1).zip(&s2).zip(&s3) {
-            let c = c0 + c1 + c2 + c3;
+        for &c in counts.iter() {
             if c > 0 {
                 distinct += 1;
                 sum_xlogx += xlogx(c as usize);
@@ -151,6 +187,35 @@ mod tests {
             .collect();
         let e = shannon_entropy(&data);
         assert!(e > 7.9, "{e}");
+    }
+
+    #[test]
+    fn hw_histogram_matches_scalar_bit_for_bit() {
+        // Sizes straddling the 1024-byte histogram switch and the
+        // 8-byte SIMD load width; LCG data plus skewed data.
+        let mut x: u64 = 99;
+        let data: Vec<u8> = (0..5000)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if i % 3 == 0 {
+                    0x41
+                } else {
+                    (x >> 33) as u8
+                }
+            })
+            .collect();
+        for len in [0, 1, 7, 1023, 1024, 1025, 1031, 2048, 4096, 5000] {
+            let d = &data[..len];
+            // Exact equality: the accumulation order is shared, only
+            // integer counting differs.
+            assert_eq!(
+                shannon_entropy(d).to_bits(),
+                shannon_entropy_scalar(d).to_bits(),
+                "len={len}"
+            );
+        }
     }
 
     #[test]

@@ -60,6 +60,55 @@ const CRYPTO_BASELINE_MB_S: &[(&str, f64, f64)] = &[
 ];
 const CRYPTO_BASELINE_FIG10_MS: f64 = 632.7;
 
+/// Acceptance bar for the hardware fast paths (AES-NI + CLMUL GHASH):
+/// a full-mode report measured with hardware dispatch active must show
+/// at least this aes-256-gcm seal speedup over the pre-rewrite scalar
+/// baseline. Files measured without the features (or under
+/// `GFWSIM_NO_HWCRYPTO`) are exempt — the scalar engine cannot reach it.
+const AES_GCM_MIN_HW_SPEEDUP: f64 = 10.0;
+
+/// Effective hardware-crypto dispatch state, recorded in the report so
+/// `--check` knows which acceptance bars apply to the file's numbers.
+#[derive(Clone, Copy)]
+struct HwInfo {
+    aes_ni: bool,
+    pclmulqdq: bool,
+    ssse3: bool,
+    avx2: bool,
+    /// Detection found features but dispatch is masked
+    /// (`GFWSIM_NO_HWCRYPTO` or the force-scalar switch).
+    forced_scalar: bool,
+}
+
+impl HwInfo {
+    fn probe() -> Self {
+        let raw = sscrypto::hw::CpuFeatures::detect_with(false);
+        let eff = sscrypto::hw::CpuFeatures::get();
+        HwInfo {
+            aes_ni: eff.aes,
+            pclmulqdq: eff.pclmulqdq,
+            ssse3: eff.ssse3,
+            avx2: eff.avx2,
+            forced_scalar: raw.any() && !eff.any(),
+        }
+    }
+
+    fn json(self) -> String {
+        format!(
+            concat!(
+                "  \"hw_crypto\": {{\n",
+                "    \"aes_ni\": {},\n",
+                "    \"pclmulqdq\": {},\n",
+                "    \"ssse3\": {},\n",
+                "    \"avx2\": {},\n",
+                "    \"forced_scalar\": {}\n",
+                "  }},\n",
+            ),
+            self.aes_ni, self.pclmulqdq, self.ssse3, self.avx2, self.forced_scalar
+        )
+    }
+}
+
 /// The AEAD methods tracked by the crypto section, with their JSON key
 /// stems (dashes are awkward in JSON keys). Order must match
 /// [`CRYPTO_BASELINE_MB_S`].
@@ -220,9 +269,10 @@ fn bench_open(method: Method, total_bytes: usize, runs: usize) -> f64 {
 }
 
 /// The crypto section of the report: baseline consts next to the
-/// measured per-method numbers plus the fig10 wall time (the end-to-end
-/// workload that motivated the crypto rewrite).
-fn crypto_json(current: &[(&str, f64, f64)], fig_ms: f64) -> String {
+/// measured per-method numbers (hardware dispatch and forced-scalar
+/// oracle) plus the fig10 wall time (the end-to-end workload that
+/// motivated the crypto rewrite).
+fn crypto_json(current: &[(&str, f64, f64)], scalar: &[(&str, f64, f64)], fig_ms: f64) -> String {
     let mut s = String::new();
     s.push_str("  \"crypto\": {\n");
     s.push_str("    \"baseline\": {\n");
@@ -240,6 +290,10 @@ fn crypto_json(current: &[(&str, f64, f64)], fig_ms: f64) -> String {
         s.push_str(&format!("      \"{k}_seal_mb_s\": {seal:.1},\n"));
         s.push_str(&format!("      \"{k}_open_mb_s\": {open:.1},\n"));
     }
+    for &(k, seal, open) in scalar {
+        s.push_str(&format!("      \"{k}_scalar_seal_mb_s\": {seal:.1},\n"));
+        s.push_str(&format!("      \"{k}_scalar_open_mb_s\": {open:.1},\n"));
+    }
     s.push_str(&format!("      \"fig10_grid_ms\": {fig_ms:.1}\n"));
     s.push_str("    },\n");
     s.push_str("    \"speedup\": {\n");
@@ -255,13 +309,22 @@ fn crypto_json(current: &[(&str, f64, f64)], fig_ms: f64) -> String {
     s
 }
 
-fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64, crypto: &[(&str, f64, f64)]) -> String {
+fn json(
+    quick: bool,
+    ev: f64,
+    sc: f64,
+    fig_ms: f64,
+    crypto: &[(&str, f64, f64)],
+    scalar: &[(&str, f64, f64)],
+    hw: HwInfo,
+) -> String {
     format!(
         concat!(
             "{{\n",
             "  \"schema\": 1,\n",
             "  \"bench\": \"substrate\",\n",
             "  \"mode\": \"{mode}\",\n",
+            "{hw}",
             "  \"baseline\": {{\n",
             "    \"label\": \"{label}\",\n",
             "    \"events_per_sec\": {bev:.0},\n",
@@ -292,7 +355,8 @@ fn json(quick: bool, ev: f64, sc: f64, fig_ms: f64, crypto: &[(&str, f64, f64)])
         sev = ev / BASELINE_EVENTS_PER_SEC,
         ssc = sc / BASELINE_SCORES_PER_SEC,
         sfig = BASELINE_FIG10_GRID_MS / fig_ms,
-        crypto = crypto_json(crypto, fig_ms),
+        hw = hw.json(),
+        crypto = crypto_json(crypto, scalar, fig_ms),
     )
 }
 
@@ -321,12 +385,19 @@ const SCALE_STEMS: &[&str] = &[
 /// beat the pure packet engine by at least this factor.
 const SCALE_MIN_SPEEDUP_100K: f64 = 10.0;
 
-/// Regression floor for the fig10 grid in full-mode substrate files.
-/// The grid is crypto-bound and bimodal run to run, so it carries a
-/// tolerance band rather than an exact bar; below this floor a real
-/// regression is the likelier explanation than scheduling noise.
-/// Quick-mode files are exempt (single run, noise-dominated).
-const FIG10_GRID_MIN_SPEEDUP: f64 = 0.9;
+/// Regression floor for the fig10 grid in full-mode substrate files
+/// measured with hardware crypto dispatch active: the AES-NI/CLMUL
+/// engine must keep the grid at least as fast as the pre-crypto-rewrite
+/// tree even in the worst scheduling mode. Quick-mode files are exempt
+/// (single run, noise-dominated).
+const FIG10_GRID_MIN_SPEEDUP_HW: f64 = 1.0;
+
+/// Regression floor for full-mode files measured on the scalar engine
+/// (no features, or `GFWSIM_NO_HWCRYPTO`). The grid is crypto-bound and
+/// bimodal run to run, so the scalar floor keeps the pre-hardware
+/// tolerance band; below it a real regression is the likelier
+/// explanation than scheduling noise.
+const FIG10_GRID_MIN_SPEEDUP_SCALAR: f64 = 0.9;
 
 /// Validate a BENCH_substrate.json: schema marker present, every
 /// metric a positive finite number. Returns a list of problems.
@@ -357,14 +428,48 @@ fn check_file(text: &str) -> Vec<String> {
             _ => problems.push(format!("\"{key}\" is not a positive number")),
         }
     }
+    // Forced-scalar oracle bars appear only in the current section.
+    for &(k, _, _) in CRYPTO_BASELINE_MB_S {
+        for metric in ["seal", "open"] {
+            let key = format!("{k}_scalar_{metric}_mb_s");
+            match extract_number(text, &key) {
+                Some(v) if v.is_finite() && v > 0.0 => {}
+                _ => problems.push(format!("\"{key}\" is not a positive number")),
+            }
+        }
+    }
+    for flag in ["aes_ni", "pclmulqdq", "ssse3", "avx2", "forced_scalar"] {
+        if !text.contains(&format!("\"{flag}\": ")) {
+            problems.push(format!("missing \"{flag}\" in the hw_crypto section"));
+        }
+    }
+    // Which acceptance bars apply depends on how the file was measured:
+    // hardware dispatch active means the fast-path bars, scalar (no
+    // features or forced) keeps the pre-hardware tolerance band.
+    let hw_active = text.contains("\"aes_ni\": true") && !text.contains("\"forced_scalar\": true");
     if text.contains("\"mode\": \"full\"") {
+        let floor = if hw_active {
+            FIG10_GRID_MIN_SPEEDUP_HW
+        } else {
+            FIG10_GRID_MIN_SPEEDUP_SCALAR
+        };
         // First "fig10_grid" occurrence is the substrate speedup block.
         match extract_number(text, "fig10_grid") {
-            Some(v) if v >= FIG10_GRID_MIN_SPEEDUP => {}
+            Some(v) if v >= floor => {}
             Some(v) => problems.push(format!(
-                "\"fig10_grid\" speedup {v} below the {FIG10_GRID_MIN_SPEEDUP} regression floor"
+                "\"fig10_grid\" speedup {v} below the {floor} regression floor"
             )),
             None => problems.push("missing \"fig10_grid\" speedup".to_string()),
+        }
+        if hw_active {
+            match extract_number(text, "aes_256_gcm_seal") {
+                Some(v) if v >= AES_GCM_MIN_HW_SPEEDUP => {}
+                Some(v) => problems.push(format!(
+                    "\"aes_256_gcm_seal\" speedup {v} below the {AES_GCM_MIN_HW_SPEEDUP}x \
+                     hardware acceptance bar"
+                )),
+                None => problems.push("missing \"aes_256_gcm_seal\" speedup".to_string()),
+            }
         }
     }
     problems
@@ -507,6 +612,11 @@ fn main() {
         "bench-report: aead codec throughput ({} MiB x {cruns} per method)...",
         cbytes >> 20
     );
+    let hw = HwInfo::probe();
+    eprintln!(
+        "bench-report: hw crypto: aes_ni={} pclmulqdq={} ssse3={} avx2={} forced_scalar={}",
+        hw.aes_ni, hw.pclmulqdq, hw.ssse3, hw.avx2, hw.forced_scalar
+    );
     let crypto: Vec<(&str, f64, f64)> = AEAD_METHODS
         .iter()
         .map(|&(m, key)| {
@@ -519,6 +629,25 @@ fn main() {
             (key, seal, open)
         })
         .collect();
+    // Forced-scalar oracle bars: the same workload with dispatch masked,
+    // so the scalar engine's trajectory stays visible next to the
+    // hardware numbers. The mask is per-construction and every bench run
+    // constructs fresh codecs, so flipping the switch is race-free here.
+    eprintln!("bench-report: aead codec throughput, forced-scalar oracle...");
+    sscrypto::hw::set_force_scalar(true);
+    let scalar: Vec<(&str, f64, f64)> = AEAD_METHODS
+        .iter()
+        .map(|&(m, key)| {
+            let seal = bench_seal(m, cbytes, cruns);
+            let open = bench_open(m, cbytes, cruns);
+            eprintln!(
+                "bench-report:   {}: scalar seal {seal:.1} MB/s, open {open:.1} MB/s",
+                m.name()
+            );
+            (key, seal, open)
+        })
+        .collect();
+    sscrypto::hw::set_force_scalar(false);
 
     println!(
         "substrate events/sec:        {ev:>12.0}  ({:.2}x baseline)",
@@ -540,7 +669,7 @@ fn main() {
         );
     }
 
-    let body = json(quick, ev, sc, fig_ms, &crypto);
+    let body = json(quick, ev, sc, fig_ms, &crypto, &scalar, hw);
     if let Err(e) = std::fs::write(&out_path, &body) {
         eprintln!("bench-report: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -552,30 +681,83 @@ fn main() {
 mod tests {
     use super::*;
 
+    /// Hardware-path fakes clear the 10x aes-256-gcm acceptance bar.
     fn fake_crypto() -> Vec<(&'static str, f64, f64)> {
+        CRYPTO_BASELINE_MB_S
+            .iter()
+            .map(|&(k, s, o)| (k, s * 12.0, o * 12.0))
+            .collect()
+    }
+
+    /// Forced-scalar oracle bars: modest gains, as on the real engine.
+    fn fake_scalar() -> Vec<(&'static str, f64, f64)> {
         CRYPTO_BASELINE_MB_S
             .iter()
             .map(|&(k, s, o)| (k, s * 2.0, o * 2.0))
             .collect()
     }
 
+    fn hw_on() -> HwInfo {
+        HwInfo {
+            aes_ni: true,
+            pclmulqdq: true,
+            ssse3: true,
+            avx2: true,
+            forced_scalar: false,
+        }
+    }
+
+    fn hw_off() -> HwInfo {
+        HwInfo {
+            aes_ni: false,
+            pclmulqdq: false,
+            ssse3: false,
+            avx2: false,
+            forced_scalar: false,
+        }
+    }
+
     #[test]
     fn emitted_json_passes_check() {
-        let body = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
+        let body = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
         assert!(check_file(&body).is_empty(), "{:?}", check_file(&body));
     }
 
     #[test]
     fn malformed_json_is_rejected() {
         assert!(!check_file("{}").is_empty());
-        let body = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
+        let body = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
         let broken = body.replace("\"events_per_sec\"", "\"events\"");
         assert!(!check_file(&broken).is_empty());
     }
 
     #[test]
     fn missing_crypto_section_is_rejected() {
-        let body = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
+        let body = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
         let broken = body.replace("_seal_mb_s", "_seal");
         let problems = check_file(&broken);
         assert!(
@@ -585,8 +767,86 @@ mod tests {
     }
 
     #[test]
+    fn missing_scalar_bars_are_rejected() {
+        let body = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
+        let broken = body.replace("_scalar_seal_mb_s", "_scalar_seal");
+        let problems = check_file(&broken);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("aes_256_gcm_scalar_seal_mb_s")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn hw_file_below_ten_x_is_rejected_scalar_file_is_not() {
+        // Scalar-magnitude numbers measured with hardware dispatch
+        // active: the 10x bar applies and fails.
+        let slow_hw = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_scalar(),
+            &fake_scalar(),
+            hw_on(),
+        );
+        let problems = check_file(&slow_hw);
+        assert!(
+            problems.iter().any(|p| p.contains("aes_256_gcm_seal")),
+            "{problems:?}"
+        );
+        // The same numbers measured without the features are fine.
+        let scalar_box = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_scalar(),
+            &fake_scalar(),
+            hw_off(),
+        );
+        assert!(
+            check_file(&scalar_box).is_empty(),
+            "{:?}",
+            check_file(&scalar_box)
+        );
+        // Forced scalar on a hardware box is likewise exempt.
+        let forced = HwInfo {
+            forced_scalar: true,
+            aes_ni: false,
+            pclmulqdq: false,
+            ssse3: false,
+            avx2: false,
+        };
+        let forced_file = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_scalar(),
+            &fake_scalar(),
+            forced,
+        );
+        assert!(
+            check_file(&forced_file).is_empty(),
+            "{:?}",
+            check_file(&forced_file)
+        );
+    }
+
+    #[test]
     fn crypto_section_carries_every_method_twice() {
-        let body = crypto_json(&fake_crypto(), 150.0);
+        let body = crypto_json(&fake_crypto(), &fake_scalar(), 150.0);
         for &(_, k) in AEAD_METHODS {
             assert_eq!(
                 body.matches(&format!("\"{k}_seal_mb_s\":")).count(),
@@ -597,6 +857,11 @@ mod tests {
                 body.matches(&format!("\"{k}_open_mb_s\":")).count(),
                 2,
                 "{k} open"
+            );
+            assert_eq!(
+                body.matches(&format!("\"{k}_scalar_seal_mb_s\":")).count(),
+                1,
+                "{k} scalar seal"
             );
         }
     }
@@ -684,19 +949,78 @@ mod tests {
 
     #[test]
     fn full_mode_substrate_gates_fig10_grid_speedup() {
-        let good = json(false, 2_000_000.0, 900_000.0, 400.0, &fake_crypto());
+        let good = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            400.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
         assert!(check_file(&good).is_empty(), "{:?}", check_file(&good));
         // Degrade the grid wall time until the speedup falls under the
         // floor; a full-mode file must then fail the check.
-        let slow = json(false, 2_000_000.0, 900_000.0, 100_000.0, &fake_crypto());
+        let slow = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            100_000.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
         let problems = check_file(&slow);
         assert!(
             problems.iter().any(|p| p.contains("fig10_grid")),
             "{problems:?}"
         );
         // Quick files are exempt from the bar.
-        let quick = json(true, 2_000_000.0, 900_000.0, 100_000.0, &fake_crypto());
+        let quick = json(
+            true,
+            2_000_000.0,
+            900_000.0,
+            100_000.0,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
         assert!(check_file(&quick).is_empty(), "{:?}", check_file(&quick));
+    }
+
+    #[test]
+    fn fig10_floor_is_one_x_on_hardware_point_nine_on_scalar() {
+        // 0.95x grid speedup: inside the scalar tolerance band, below
+        // the hardware floor.
+        let fig_ms = BASELINE_FIG10_GRID_MS / 0.95;
+        let hw_file = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            fig_ms,
+            &fake_crypto(),
+            &fake_scalar(),
+            hw_on(),
+        );
+        let problems = check_file(&hw_file);
+        assert!(
+            problems.iter().any(|p| p.contains("fig10_grid")),
+            "{problems:?}"
+        );
+        let scalar_file = json(
+            false,
+            2_000_000.0,
+            900_000.0,
+            fig_ms,
+            &fake_scalar(),
+            &fake_scalar(),
+            hw_off(),
+        );
+        assert!(
+            check_file(&scalar_file).is_empty(),
+            "{:?}",
+            check_file(&scalar_file)
+        );
     }
 
     #[test]

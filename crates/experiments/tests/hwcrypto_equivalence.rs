@@ -1,0 +1,78 @@
+//! Golden equivalence for the hardware crypto paths: the detection
+//! experiments must be **byte-identical** with hardware dispatch active
+//! (AES-NI, CLMUL GHASH, SIMD ChaCha20, AVX2 entropy histogram) and
+//! with `GFWSIM_NO_HWCRYPTO=1` forcing the scalar oracles, at any
+//! worker count.
+//!
+//! This is the contract that lets the fast paths exist at all: they
+//! change *how fast* bytes are produced, never *which* bytes. The
+//! expectations are the *committed* goldens from `tests/golden/` —
+//! intentionally not re-blessed alongside the hardware paths, so a
+//! divergence fails this suite rather than being silently snapshotted.
+
+use std::process::Command;
+
+/// Run `bin` with the given hardware-crypto override and worker count,
+/// and compare its stdout byte-for-byte against the committed golden.
+fn check(bin: &str, name: &str, no_hw: bool, jobs: &str) {
+    let mut cmd = Command::new(bin);
+    cmd.args(["--jobs", jobs])
+        .env_remove("GFWSIM_JOBS")
+        .env_remove("GFWSIM_ENGINE");
+    if no_hw {
+        cmd.env("GFWSIM_NO_HWCRYPTO", "1");
+    } else {
+        cmd.env_remove("GFWSIM_NO_HWCRYPTO");
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{name} (no_hw {no_hw}, jobs {jobs}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("utf-8 stdout");
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+
+    if got != want {
+        let line = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+        panic!(
+            "{name} with GFWSIM_NO_HWCRYPTO={} (jobs {jobs}) diverged from \
+             the committed golden at line {line}\n\
+             --- got ---\n{}\n--- want ---\n{}",
+            if no_hw { "1" } else { "<unset>" },
+            got.lines().nth(line - 1).unwrap_or("<eof>"),
+            want.lines().nth(line - 1).unwrap_or("<eof>"),
+        );
+    }
+}
+
+/// Every (hardware override, jobs) combination for one experiment
+/// binary. On machines without the CPU features both legs run scalar
+/// and the test degrades to golden-stability; CI has all four features.
+fn check_all(bin: &str, name: &str) {
+    for no_hw in [false, true] {
+        for jobs in ["1", "4"] {
+            check(bin, name, no_hw, jobs);
+        }
+    }
+}
+
+#[test]
+fn exp_fig10_is_hwcrypto_invariant() {
+    check_all(env!("CARGO_BIN_EXE_exp-fig10"), "exp-fig10");
+}
+
+#[test]
+fn exp_table4_is_hwcrypto_invariant() {
+    check_all(env!("CARGO_BIN_EXE_exp-table4"), "exp-table4");
+}

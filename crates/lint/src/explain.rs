@@ -113,11 +113,12 @@ pub const RULES: &[RuleDoc] = &[
     RuleDoc {
         id: "U1",
         summary: "unsafe audit: every unsafe site has a `// SAFETY:` comment and fits the budget",
-        rationale: "ROADMAP item 4 (std::arch SIMD) will introduce the first \
-                    real `unsafe` into the crypto hot path. U1 makes the audit \
-                    discipline exist before the code does: each `unsafe` block, \
-                    fn or impl needs an adjacent `// SAFETY:` comment stating \
-                    the invariant, and per-crate site counts live in \
+        rationale: "The `std::arch` fast paths (`sscrypto::x86`: AES-NI, CLMUL \
+                    GHASH, SSSE3/AVX2 ChaCha20; `analysis::simd`: AVX2 entropy \
+                    histogram) are the repo's only real `unsafe`, and U1 is \
+                    their audit discipline: each `unsafe` block, fn or impl \
+                    needs an adjacent `// SAFETY:` comment stating the \
+                    invariant, and per-crate site counts live in \
                     `[unsafe-budget]` of `lint-baseline.toml`, ratcheting down \
                     like P1/A1.",
         escape: "Write the SAFETY comment (that is the point); \
@@ -128,7 +129,8 @@ pub const RULES: &[RuleDoc] = &[
         id: "W1",
         summary: "wrapping-arithmetic discipline on hot-path integer state",
         rationale: "Release builds wrap silently on overflow. In the hot-path \
-                    modules (`sscrypto`, `netsim::eventq`, `gfw_core::passive`, \
+                    modules (`sscrypto`, `analysis::entropy`/`simd`, \
+                    `netsim::eventq`, `gfw_core::passive`, \
                     `shadowsocks::wire`), bare `+` / `*` / `<<` on integer \
                     state that crosses a function boundary (params, `self` \
                     fields) must say what it means: `wrapping_*` when wrap is \

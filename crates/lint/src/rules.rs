@@ -1125,6 +1125,8 @@ pub fn u1_unsafe_audit(ws: &Workspace, report: &mut Report) -> Result<(), String
 /// and these run millions of iterations per simulated experiment.
 pub const W1_HOT_PATHS: &[&str] = &[
     "crates/sscrypto/src/",
+    "crates/analysis/src/entropy.rs",
+    "crates/analysis/src/simd.rs",
     "crates/netsim/src/eventq.rs",
     "crates/netsim/src/flow.rs",
     "crates/core/src/passive.rs",

@@ -13,8 +13,17 @@
 use sscrypto::sha256::sha256;
 
 /// A classic fixed-size Bloom filter with `k` derived hash functions.
+///
+/// The bit array is allocated **lazily**, on the first insert: an empty
+/// filter contains nothing, so deferring the (hundreds-of-KB at libev
+/// capacities) zeroed allocation is observationally identical. This
+/// matters because the probe-reaction experiments construct a fresh
+/// server — and with it a fresh replay filter — per probe; eager
+/// allocation put two mmap/munmap round-trips on every probe of the
+/// Fig 10 grid, dwarfing the actual crypto.
 #[derive(Clone)]
 pub struct Bloom {
+    /// Empty until the first insert; `m.div_ceil(64)` words after.
     bits: Vec<u64>,
     m: usize,
     k: u32,
@@ -23,7 +32,8 @@ pub struct Bloom {
 
 impl Bloom {
     /// Create a filter sized for roughly `expected_items` at ~1e-6 false
-    /// positive rate (libev uses 1e-6 for its server filters).
+    /// positive rate (libev uses 1e-6 for its server filters). Does not
+    /// allocate the bit array; the first [`Bloom::insert`] does.
     pub fn new(expected_items: usize) -> Bloom {
         // m = -n ln p / (ln 2)^2, k = m/n ln 2, with p = 1e-6.
         let n = expected_items.max(1) as f64;
@@ -32,35 +42,46 @@ impl Bloom {
         let m = m.max(64);
         let k = ((m as f64 / n) * 2f64.ln()).round().max(1.0) as u32;
         Bloom {
-            bits: vec![0u64; m.div_ceil(64)],
+            bits: Vec::with_capacity(0),
             m,
             k,
             items: 0,
         }
     }
 
-    fn indexes(&self, item: &[u8]) -> impl Iterator<Item = usize> + '_ {
-        // Kirsch–Mitzenmacher double hashing from one SHA-256.
+    /// The two Kirsch–Mitzenmacher base hashes from one SHA-256.
+    fn hashes(item: &[u8]) -> (u64, u64) {
         let d = sha256(item);
         let h1 = u64::from_le_bytes(d[0..8].try_into().unwrap());
         let h2 = u64::from_le_bytes(d[8..16].try_into().unwrap()) | 1;
-        let m = self.m as u64;
-        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+        (h1, h2)
     }
 
-    /// Insert an item.
+    /// Insert an item, allocating the bit array on first use.
     pub fn insert(&mut self, item: &[u8]) {
-        let idx: Vec<usize> = self.indexes(item).collect();
-        for i in idx {
-            self.bits[i / 64] |= 1 << (i % 64);
+        if self.bits.is_empty() {
+            self.bits = vec![0u64; self.m.div_ceil(64)];
+        }
+        let (h1, h2) = Self::hashes(item);
+        let m = self.m as u64;
+        for i in 0..self.k as u64 {
+            let idx = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
+            self.bits[idx / 64] |= 1 << (idx % 64);
         }
         self.items += 1;
     }
 
     /// Probabilistic membership test (no false negatives).
     pub fn contains(&self, item: &[u8]) -> bool {
-        self.indexes(item)
-            .all(|i| self.bits[i / 64] & (1 << (i % 64)) != 0)
+        if self.bits.is_empty() {
+            return false;
+        }
+        let (h1, h2) = Self::hashes(item);
+        let m = self.m as u64;
+        (0..self.k as u64).all(|i| {
+            let idx = (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize;
+            self.bits[idx / 64] & (1 << (idx % 64)) != 0
+        })
     }
 
     /// Number of inserts since creation/clear.
@@ -73,9 +94,10 @@ impl Bloom {
         self.items == 0
     }
 
-    /// Reset to empty.
+    /// Reset to empty. Releases the bit array; the next insert
+    /// re-allocates, keeping long-idle cleared filters cheap.
     pub fn clear(&mut self) {
-        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.bits = Vec::with_capacity(0);
         self.items = 0;
     }
 }

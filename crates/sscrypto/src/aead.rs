@@ -4,6 +4,7 @@
 
 use crate::chacha20::{hchacha20, ChaCha20};
 use crate::gcm::AesGcm;
+use crate::hw::CpuFeatures;
 use crate::poly1305::Poly1305;
 use crate::AuthError;
 
@@ -69,16 +70,27 @@ impl Aead for AesGcm {
     }
 }
 
-/// ChaCha20-Poly1305 (RFC 8439 §2.8).
+/// ChaCha20-Poly1305 (RFC 8439 §2.8). The keystream half dispatches to
+/// the SIMD ChaCha20 kernels per the feature snapshot taken at
+/// construction; Poly1305 stays scalar (its 64-bit carry chains gain
+/// little from vectorization and it is not the throughput bound).
 #[derive(Clone)]
 pub struct ChaCha20Poly1305 {
     key: [u8; 32],
+    feat: CpuFeatures,
 }
 
 impl ChaCha20Poly1305 {
-    /// Create an instance from a 32-byte key.
+    /// Create an instance from a 32-byte key, snapshotting
+    /// [`CpuFeatures::get`] for the keystream backend.
     pub fn new(key: &[u8; 32]) -> Self {
-        ChaCha20Poly1305 { key: *key }
+        Self::with_features(key, CpuFeatures::get())
+    }
+
+    /// [`ChaCha20Poly1305::new`] with an explicit feature snapshot
+    /// (differential tests pass [`CpuFeatures::none`]).
+    pub fn with_features(key: &[u8; 32], feat: CpuFeatures) -> Self {
+        ChaCha20Poly1305 { key: *key, feat }
     }
 
     fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
@@ -108,7 +120,7 @@ impl Aead for ChaCha20Poly1305 {
 
     fn seal(&self, nonce: &[u8], aad: &[u8], data: &mut [u8]) -> [u8; TAG_LEN] {
         let nonce: &[u8; NONCE_LEN] = nonce.try_into().expect("nonce must be 12 bytes");
-        let mut c = ChaCha20::new(&self.key, nonce, 1);
+        let mut c = ChaCha20::with_features(&self.key, nonce, 1, self.feat);
         c.apply(data);
         self.tag(nonce, aad, data)
     }
@@ -125,7 +137,7 @@ impl Aead for ChaCha20Poly1305 {
         if !crate::ct_eq(&want, tag) {
             return Err(AuthError);
         }
-        let mut c = ChaCha20::new(&self.key, nonce, 1);
+        let mut c = ChaCha20::with_features(&self.key, nonce, 1, self.feat);
         c.apply(data);
         Ok(())
     }
@@ -138,12 +150,20 @@ impl Aead for ChaCha20Poly1305 {
 #[derive(Clone)]
 pub struct XChaCha20Poly1305 {
     key: [u8; 32],
+    feat: CpuFeatures,
 }
 
 impl XChaCha20Poly1305 {
-    /// Create an instance from a 32-byte key.
+    /// Create an instance from a 32-byte key, snapshotting
+    /// [`CpuFeatures::get`] for the keystream backend.
     pub fn new(key: &[u8; 32]) -> Self {
-        XChaCha20Poly1305 { key: *key }
+        Self::with_features(key, CpuFeatures::get())
+    }
+
+    /// [`XChaCha20Poly1305::new`] with an explicit feature snapshot
+    /// (differential tests pass [`CpuFeatures::none`]).
+    pub fn with_features(key: &[u8; 32], feat: CpuFeatures) -> Self {
+        XChaCha20Poly1305 { key: *key, feat }
     }
 
     fn inner(&self, nonce: &[u8]) -> (ChaCha20Poly1305, [u8; NONCE_LEN]) {
@@ -153,7 +173,7 @@ impl XChaCha20Poly1305 {
         let subkey = hchacha20(&self.key, &head);
         let mut n12 = [0u8; NONCE_LEN];
         n12[4..].copy_from_slice(&xn[16..]);
-        (ChaCha20Poly1305::new(&subkey), n12)
+        (ChaCha20Poly1305::with_features(&subkey, self.feat), n12)
     }
 }
 

@@ -6,6 +6,14 @@
 //! SubBytes/ShiftRows/MixColumns. Used by the CTR, CFB and GCM modes in
 //! this crate, which together cover the `aes-*-ctr`, `aes-*-cfb` and
 //! `aes-*-gcm` Shadowsocks methods.
+//!
+//! When the CPU reports AES-NI (see [`crate::hw`]), block encryption
+//! dispatches to the `aesenc` kernels in `crate::x86` — selected once
+//! at [`Aes::new`] time — and the key schedule itself runs on
+//! `aeskeygenassist` for 128/256-bit keys. The T-table path stays
+//! compiled as the differential oracle (`GFWSIM_NO_HWCRYPTO=1`).
+
+use crate::hw::CpuFeatures;
 
 /// AES block size in bytes.
 pub const BLOCK_LEN: usize = 16;
@@ -77,16 +85,32 @@ const TE3: [u32; 256] = rotr_table(&TE0, 24);
 pub struct Aes {
     /// One `[u32; 4]` per round: word `c` is column `c`, big-endian.
     round_keys: Vec<[u32; 4]>,
+    /// Byte-form round keys for the AES-NI path; empty when this
+    /// instance dispatches to the scalar T-table oracle.
+    rk_bytes: Vec<[u8; 16]>,
     rounds: usize,
 }
 
 impl Aes {
     /// Build a key schedule. `key` must be 16, 24 or 32 bytes.
     ///
+    /// Snapshots [`CpuFeatures::get`] to pick the AES-NI or scalar
+    /// backend for the lifetime of this instance.
+    ///
     /// # Panics
     ///
     /// Panics on any other key length.
     pub fn new(key: &[u8]) -> Self {
+        Self::with_features(key, CpuFeatures::get())
+    }
+
+    /// [`Aes::new`] with an explicit feature snapshot (differential
+    /// tests pass [`CpuFeatures::none`] to force the scalar oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid key lengths, like [`Aes::new`].
+    pub fn with_features(key: &[u8], feat: CpuFeatures) -> Self {
         let nk = match key.len() {
             16 => 4,
             24 => 6,
@@ -122,7 +146,7 @@ impl Aes {
                 prev[3] ^ temp[3],
             ]);
         }
-        let round_keys = w
+        let round_keys: Vec<[u32; 4]> = w
             .chunks_exact(4)
             .map(|c| {
                 [
@@ -133,15 +157,64 @@ impl Aes {
                 ]
             })
             .collect();
-        Aes { round_keys, rounds }
+        let rk_bytes = if feat.aes {
+            hw_round_keys(key, &round_keys)
+        } else {
+            Vec::with_capacity(0)
+        };
+        Aes {
+            round_keys,
+            rk_bytes,
+            rounds,
+        }
+    }
+
+    /// True when this instance dispatches to the AES-NI kernels.
+    pub fn is_hw(&self) -> bool {
+        !self.rk_bytes.is_empty()
     }
 
     /// Encrypt a single 16-byte block in place.
+    #[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.rk_bytes.is_empty() {
+            // SAFETY: rk_bytes is only populated when the construction
+            // snapshot reported AES-NI support (see `with_features`).
+            unsafe { crate::x86::aes_encrypt1(&self.rk_bytes, block) };
+            return;
+        }
+        self.encrypt_block_scalar(block);
+    }
+
+    /// Encrypt four contiguous 16-byte blocks in place — the CTR/GCM
+    /// batch shape, pipelined on the AES-NI path.
+    #[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
+    pub fn encrypt_blocks4(&self, blocks: &mut [u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if !self.rk_bytes.is_empty() {
+            // SAFETY: rk_bytes is only populated when the construction
+            // snapshot reported AES-NI support (see `with_features`).
+            unsafe { crate::x86::aes_encrypt4(&self.rk_bytes, blocks) };
+            return;
+        }
+        let mut off = 0;
+        while off < 64 {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(&blocks[off..off + 16]);
+            self.encrypt_block_scalar(&mut b);
+            blocks[off..off + 16].copy_from_slice(&b);
+            off += 16;
+        }
+    }
+
+    /// Scalar (T-table) single-block encryption: the differential
+    /// oracle for the AES-NI path.
     ///
     /// State columns live in big-endian `u32`s (column `c` is
     /// `block[4c..4c+4]`, row 0 in the high byte); each T-table lookup
     /// covers SubBytes, ShiftRows and MixColumns for one byte.
-    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+    fn encrypt_block_scalar(&self, block: &mut [u8; 16]) {
         let mut s = [
             be32(block, 0) ^ self.round_keys[0][0],
             be32(block, 4) ^ self.round_keys[0][1],
@@ -176,6 +249,60 @@ impl Aes {
         self.encrypt_block(&mut out);
         out
     }
+}
+
+/// Byte-form round keys for the AES-NI path. 128/256-bit keys run the
+/// `aeskeygenassist` schedule; 192-bit keys (whose SSE schedule needs
+/// an awkward 6-word stride) reuse the scalar word expansion — the
+/// schedule is key-setup-time, not hot, and `hw_schedule_matches_scalar`
+/// pins all three sizes to the same round keys.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
+fn hw_round_keys(key: &[u8], words: &[[u32; 4]]) -> Vec<[u8; 16]> {
+    match key.len() {
+        16 => {
+            let mut k = [0u8; 16];
+            k.copy_from_slice(key);
+            // SAFETY: only called when the construction snapshot
+            // reported AES-NI support (`feat.aes`).
+            unsafe { crate::x86::aes128_schedule(&k) }
+                .into_iter()
+                .collect()
+        }
+        32 => {
+            let mut k = [0u8; 32];
+            k.copy_from_slice(key);
+            // SAFETY: only called when the construction snapshot
+            // reported AES-NI support (`feat.aes`).
+            unsafe { crate::x86::aes256_schedule(&k) }
+                .into_iter()
+                .collect()
+        }
+        _ => words_to_bytes(words),
+    }
+}
+
+/// `feat.aes` is never set off x86_64, so this is dead; it exists so
+/// `with_features` compiles unconditionally.
+#[cfg(not(target_arch = "x86_64"))]
+fn hw_round_keys(_key: &[u8], _words: &[[u32; 4]]) -> Vec<[u8; 16]> {
+    Vec::with_capacity(0)
+}
+
+/// Serialize word-form round keys (big-endian columns) to the raw byte
+/// form `aesenc` consumes.
+#[cfg(target_arch = "x86_64")]
+fn words_to_bytes(words: &[[u32; 4]]) -> Vec<[u8; 16]> {
+    words
+        .iter()
+        .map(|w| {
+            let mut b = [0u8; 16];
+            for (chunk, col) in b.chunks_exact_mut(4).zip(w) {
+                chunk.copy_from_slice(&col.to_be_bytes());
+            }
+            b
+        })
+        .collect()
 }
 
 fn be32(b: &[u8; 16], i: usize) -> u32 {
@@ -262,5 +389,62 @@ mod tests {
     #[should_panic(expected = "invalid AES key length")]
     fn rejects_bad_key_len() {
         let _ = Aes::new(&[0u8; 17]);
+    }
+
+    /// The `aeskeygenassist` schedule must reproduce the FIPS 197 word
+    /// expansion exactly, for every key size that takes the HW path.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hw_schedule_matches_scalar() {
+        use crate::hw::CpuFeatures;
+        let feat = CpuFeatures::detect_with(false);
+        if !feat.aes {
+            return;
+        }
+        for len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..len as u8)
+                .map(|b| b.wrapping_mul(37).wrapping_add(11))
+                .collect();
+            let aes = Aes::with_features(&key, feat);
+            assert_eq!(aes.rk_bytes.len(), aes.rounds + 1);
+            assert_eq!(
+                aes.rk_bytes,
+                words_to_bytes(&aes.round_keys),
+                "key len {len}"
+            );
+        }
+    }
+
+    /// HW and scalar block encryption agree, including the 4-block
+    /// batch entry point.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hw_blocks_match_scalar() {
+        use crate::hw::CpuFeatures;
+        let feat = CpuFeatures::detect_with(false);
+        if !feat.aes {
+            return;
+        }
+        for len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..len as u8)
+                .map(|b| b.wrapping_mul(29).wrapping_add(3))
+                .collect();
+            let hw = Aes::with_features(&key, feat);
+            let sc = Aes::with_features(&key, CpuFeatures::none());
+            assert!(hw.is_hw() && !sc.is_hw());
+            let mut batch = [0u8; 64];
+            for (i, b) in batch.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(17).wrapping_add(5);
+            }
+            let mut batch_sc = batch;
+            for off in [0usize, 16, 32, 48] {
+                let mut blk = [0u8; 16];
+                blk.copy_from_slice(&batch[off..off + 16]);
+                assert_eq!(hw.encrypt(&blk), sc.encrypt(&blk));
+            }
+            hw.encrypt_blocks4(&mut batch);
+            sc.encrypt_blocks4(&mut batch_sc);
+            assert_eq!(batch, batch_sc);
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! encrypt and decrypt directions need distinct state handling.
 
 use crate::aes::Aes;
+use crate::hw::CpuFeatures;
 
 /// Direction of a CFB cipher instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,8 +31,14 @@ impl AesCfb {
     /// Create a cipher with the given key (16/24/32 bytes), 16-byte IV and
     /// direction.
     pub fn new(key: &[u8], iv: &[u8; 16], dir: Direction) -> Self {
+        Self::with_features(key, iv, dir, CpuFeatures::get())
+    }
+
+    /// [`AesCfb::new`] with an explicit feature snapshot for the AES
+    /// backend (differential tests pass [`CpuFeatures::none`]).
+    pub fn with_features(key: &[u8], iv: &[u8; 16], dir: Direction, feat: CpuFeatures) -> Self {
         AesCfb {
-            aes: Aes::new(key),
+            aes: Aes::with_features(key, feat),
             register: *iv,
             keystream: [0; 16],
             used: 16,

@@ -4,8 +4,54 @@
 //! the only stream method with a 12-byte IV, a fact the paper notes lets
 //! an attacker infer the cipher from the IV length, §5.2.2) and the
 //! keystream half of `chacha20-ietf-poly1305`.
+//!
+//! The keystream batches dispatch to SSSE3 (4-lane) or AVX2 (8-lane)
+//! kernels in `crate::x86` when the CPU supports them, selected once at
+//! construction from a [`CpuFeatures`] snapshot. The portable
+//! lane-widened path stays compiled as the differential oracle
+//! (`GFWSIM_NO_HWCRYPTO=1`); consecutive-counter batching makes the
+//! keystream byte-identical regardless of batch width.
 
+use crate::hw::CpuFeatures;
 use crate::le32;
+
+/// Multi-lane keystream backend, chosen once at construction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Lanes {
+    /// AVX2 8-lane kernel, with the SSSE3 4-lane kernel for 256-byte
+    /// batches (AVX2 CPUs always have SSSE3).
+    Avx2,
+    /// SSSE3 4-lane kernel.
+    Ssse3,
+    /// Portable lane-widened scalar path (the differential oracle).
+    Scalar,
+}
+
+impl Lanes {
+    fn pick(feat: CpuFeatures) -> Self {
+        if feat.avx2 && feat.ssse3 {
+            Lanes::Avx2
+        } else if feat.ssse3 {
+            Lanes::Ssse3
+        } else {
+            Lanes::Scalar
+        }
+    }
+}
+
+/// Run the 4-lane kernel named by `lanes` over one batch of states.
+#[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
+fn blocks4_dispatch(lanes: Lanes, states: &[[u32; 16]; 4], out: &mut [u8; 256]) {
+    #[cfg(target_arch = "x86_64")]
+    if lanes != Lanes::Scalar {
+        // SAFETY: non-Scalar lanes are only selected when the
+        // construction snapshot reported SSSE3 support (`Lanes::pick`).
+        unsafe { crate::x86::chacha_blocks4(states, out) };
+        return;
+    }
+    let _ = lanes;
+    blocks4(states, out);
+}
 
 /// ChaCha20 keystream generator with the IETF 96-bit nonce / 32-bit
 /// counter layout.
@@ -14,6 +60,7 @@ pub struct ChaCha20 {
     state: [u32; 16],
     keystream: [u8; 64],
     used: usize,
+    lanes: Lanes,
 }
 
 impl ChaCha20 {
@@ -21,6 +68,17 @@ impl ChaCha20 {
     /// counter (0 for Shadowsocks streams; 1 for the AEAD payload since
     /// block 0 keys Poly1305).
     pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        Self::with_features(key, nonce, counter, CpuFeatures::get())
+    }
+
+    /// [`ChaCha20::new`] with an explicit feature snapshot (differential
+    /// tests pass [`CpuFeatures::none`] to force the scalar oracle).
+    pub fn with_features(
+        key: &[u8; 32],
+        nonce: &[u8; 12],
+        counter: u32,
+        feat: CpuFeatures,
+    ) -> Self {
         let mut state = [0u32; 16];
         state[0] = 0x61707865;
         state[1] = 0x3320646e;
@@ -37,6 +95,7 @@ impl ChaCha20 {
             state,
             keystream: [0; 64],
             used: 64,
+            lanes: Lanes::pick(feat),
         }
     }
 
@@ -72,8 +131,24 @@ impl ChaCha20 {
         for (l, st) in states.iter_mut().enumerate() {
             st[12] = self.state[12].wrapping_add(l as u32);
         }
-        blocks4(&states, out);
+        blocks4_dispatch(self.lanes, &states, out);
         self.state[12] = self.state[12].wrapping_add(4);
+    }
+
+    /// Eight consecutive keystream blocks (512 bytes) on the AVX2
+    /// kernel; advances the counter by 8. Only reachable when
+    /// [`Lanes::pick`] chose `Avx2`.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
+    fn next_blocks8(&mut self, out: &mut [u8; 512]) {
+        let mut states = [self.state; 8];
+        for (l, st) in states.iter_mut().enumerate() {
+            st[12] = self.state[12].wrapping_add(l as u32);
+        }
+        // SAFETY: callers gate on `Lanes::Avx2`, which is only selected
+        // when the construction snapshot reported AVX2 support.
+        unsafe { crate::x86::chacha_blocks8(&states, out) };
+        self.state[12] = self.state[12].wrapping_add(8);
     }
 
     /// XOR the keystream into `data` in place, continuing the stream.
@@ -84,6 +159,17 @@ impl ChaCha20 {
             data[i] ^= self.keystream[self.used];
             self.used = self.used.wrapping_add(1);
             i += 1;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.lanes == Lanes::Avx2 {
+            while data.len() - i >= 512 {
+                let mut ks = [0u8; 512];
+                self.next_blocks8(&mut ks);
+                for (b, k) in data[i..i + 512].iter_mut().zip(&ks) {
+                    *b ^= k;
+                }
+                i += 512;
+            }
         }
         while data.len() - i >= 256 {
             let mut ks = [0u8; 256];
@@ -119,11 +205,17 @@ pub struct ChaCha20Legacy {
     state: [u32; 16],
     keystream: [u8; 64],
     used: usize,
+    lanes: Lanes,
 }
 
 impl ChaCha20Legacy {
     /// Create a legacy cipher from a 32-byte key and 8-byte nonce.
     pub fn new(key: &[u8; 32], nonce: &[u8; 8]) -> Self {
+        Self::with_features(key, nonce, CpuFeatures::get())
+    }
+
+    /// [`ChaCha20Legacy::new`] with an explicit feature snapshot.
+    pub fn with_features(key: &[u8; 32], nonce: &[u8; 8], feat: CpuFeatures) -> Self {
         let mut state = [0u32; 16];
         state[0] = 0x61707865;
         state[1] = 0x3320646e;
@@ -139,6 +231,7 @@ impl ChaCha20Legacy {
             state,
             keystream: [0; 64],
             used: 64,
+            lanes: Lanes::pick(feat),
         }
     }
 
@@ -177,8 +270,28 @@ impl ChaCha20Legacy {
             st[12] = c as u32;
             st[13] = (c >> 32) as u32;
         }
-        blocks4(&states, out);
+        blocks4_dispatch(self.lanes, &states, out);
         let c = base.wrapping_add(4);
+        self.state[12] = c as u32;
+        self.state[13] = (c >> 32) as u32;
+    }
+
+    /// Eight consecutive keystream blocks on the AVX2 kernel, carrying
+    /// the 64-bit counter; advances it by 8.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
+    fn next_blocks8(&mut self, out: &mut [u8; 512]) {
+        let base = (self.state[13] as u64) << 32 | self.state[12] as u64;
+        let mut states = [self.state; 8];
+        for (l, st) in states.iter_mut().enumerate() {
+            let c = base.wrapping_add(l as u64);
+            st[12] = c as u32;
+            st[13] = (c >> 32) as u32;
+        }
+        // SAFETY: callers gate on `Lanes::Avx2`, which is only selected
+        // when the construction snapshot reported AVX2 support.
+        unsafe { crate::x86::chacha_blocks8(&states, out) };
+        let c = base.wrapping_add(8);
         self.state[12] = c as u32;
         self.state[13] = (c >> 32) as u32;
     }
@@ -190,6 +303,17 @@ impl ChaCha20Legacy {
             data[i] ^= self.keystream[self.used];
             self.used = self.used.wrapping_add(1);
             i += 1;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.lanes == Lanes::Avx2 {
+            while data.len() - i >= 512 {
+                let mut ks = [0u8; 512];
+                self.next_blocks8(&mut ks);
+                for (b, k) in data[i..i + 512].iter_mut().zip(&ks) {
+                    *b ^= k;
+                }
+                i += 512;
+            }
         }
         while data.len() - i >= 256 {
             let mut ks = [0u8; 256];
@@ -437,6 +561,52 @@ mod tests {
         assert_eq!(batched, scalar);
         assert_eq!(a.state[12], b.state[12]);
         assert_eq!(a.state[13], b.state[13]);
+    }
+
+    /// The SIMD kernels (including the AVX2 8-lane path and its
+    /// SSSE3/scalar tails) produce the exact keystream of the scalar
+    /// oracle across uneven segmentation.
+    #[test]
+    fn hw_lanes_match_scalar_oracle() {
+        let feat = CpuFeatures::detect_with(false);
+        if Lanes::pick(feat) == Lanes::Scalar {
+            return;
+        }
+        let key = [0x42u8; 32];
+        let nonce = [0x21u8; 12];
+        // 1300 bytes: two 512-byte AVX2 batches, one 256-byte batch,
+        // and a scalar tail, plus a partial-block prefix.
+        let mut hw = vec![0u8; 1300];
+        let mut c = ChaCha20::with_features(&key, &nonce, 3, feat);
+        c.apply(&mut hw[..7]);
+        c.apply(&mut hw[7..]);
+        let mut sc = vec![0u8; 1300];
+        let mut c = ChaCha20::with_features(&key, &nonce, 3, CpuFeatures::none());
+        c.apply(&mut sc[..7]);
+        c.apply(&mut sc[7..]);
+        assert_eq!(hw, sc);
+    }
+
+    /// Same pin for the legacy 64-bit-counter variant, across the u32
+    /// carry boundary the batched paths must propagate.
+    #[test]
+    fn legacy_hw_lanes_match_scalar_oracle() {
+        let feat = CpuFeatures::detect_with(false);
+        if Lanes::pick(feat) == Lanes::Scalar {
+            return;
+        }
+        let key = [0x55u8; 32];
+        let nonce = [0x66u8; 8];
+        let mut a = ChaCha20Legacy::with_features(&key, &nonce, feat);
+        let mut b = ChaCha20Legacy::with_features(&key, &nonce, CpuFeatures::none());
+        a.state[12] = u32::MAX - 3;
+        b.state[12] = u32::MAX - 3;
+        let mut hw = vec![0u8; 1024];
+        a.apply(&mut hw);
+        let mut sc = vec![0u8; 1024];
+        b.apply(&mut sc);
+        assert_eq!(hw, sc);
+        assert_eq!((a.state[12], a.state[13]), (b.state[12], b.state[13]));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! initial counter block, incremented big-endian per block.
 
 use crate::aes::Aes;
+use crate::hw::CpuFeatures;
 
 /// Incremental CTR-mode keystream cipher. Encryption and decryption are
 /// the same operation (XOR with the keystream).
@@ -20,8 +21,14 @@ impl AesCtr {
     /// Create a cipher with the given key (16/24/32 bytes) and 16-byte
     /// initial counter block (the Shadowsocks IV).
     pub fn new(key: &[u8], iv: &[u8; 16]) -> Self {
+        Self::with_features(key, iv, CpuFeatures::get())
+    }
+
+    /// [`AesCtr::new`] with an explicit feature snapshot for the AES
+    /// backend (differential tests pass [`CpuFeatures::none`]).
+    pub fn with_features(key: &[u8], iv: &[u8; 16], feat: CpuFeatures) -> Self {
         AesCtr {
-            aes: Aes::new(key),
+            aes: Aes::with_features(key, feat),
             counter: *iv,
             keystream: [0; 16],
             used: 16, // force generation on first use

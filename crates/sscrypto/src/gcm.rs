@@ -5,8 +5,16 @@
 //! multiplies by the hash subkey with a per-key 4-bit Shoup table (16
 //! precomputed H-multiples, two table lookups per nibble), built once
 //! per session key alongside the AES key schedule.
+//!
+//! On CPUs with PCLMULQDQ the GHASH multiply dispatches to the
+//! carry-less-multiply kernel in `crate::x86` (the Shoup table stays
+//! compiled as the fallback and differential oracle), and the CTR
+//! keystream runs through [`Aes::encrypt_blocks4`] so the AES-NI path
+//! pipelines four blocks at a time. Selection happens once, at
+//! [`AesGcm::new`] time.
 
 use crate::aes::Aes;
+use crate::hw::CpuFeatures;
 use crate::AuthError;
 
 /// GCM tag length in bytes (Shadowsocks always uses the full 16).
@@ -61,17 +69,22 @@ const R4: [u128; 16] = {
     t
 };
 
-/// GHASH over the hash subkey `h`, as a per-key 4-bit Shoup table.
+/// GHASH over the hash subkey `h`, as a per-key 4-bit Shoup table plus
+/// an optional PCLMULQDQ fast path chosen at construction.
 #[derive(Clone)]
 struct GHash {
     /// `m[j]` is the multiple of H selected by the 4-bit nibble `j`
     /// (bit 3 ↦ H, bit 2 ↦ half(H), bit 1 ↦ half²(H), bit 0 ↦ half³(H);
     /// composites by linearity).
     m: [u128; 16],
+    /// The subkey itself, for the carry-less-multiply path.
+    h: u128,
+    /// Dispatch to `crate::x86::ghash_mul` (snapshot said PCLMULQDQ).
+    hw: bool,
 }
 
 impl GHash {
-    fn new(h: [u8; 16]) -> Self {
+    fn new(h: [u8; 16], hw: bool) -> Self {
         let mut m = [0u128; 16];
         m[8] = u128::from_be_bytes(h);
         m[4] = gf_half(m[8]);
@@ -86,13 +99,30 @@ impl GHash {
             }
             m[j] = acc;
         }
-        GHash { m }
+        GHash {
+            m,
+            h: u128::from_be_bytes(h),
+            hw,
+        }
     }
 
-    /// `z · H`, walking `z` a nibble at a time from the least
-    /// significant end: two table lookups per nibble, 32 iterations per
-    /// block instead of 128 bit tests.
+    /// `z · H`, dispatching to the backend picked at construction.
+    #[allow(unsafe_code)] // audited dispatch into `crate::x86` (U1)
     fn mul_h(&self, z: u128) -> u128 {
+        #[cfg(target_arch = "x86_64")]
+        if self.hw {
+            // SAFETY: `hw` is only set when the construction snapshot
+            // reported PCLMULQDQ support (see `AesGcm::with_features`).
+            return unsafe { crate::x86::ghash_mul(z, self.h) };
+        }
+        self.mul_h_scalar(z)
+    }
+
+    /// Scalar `z · H`, walking `z` a nibble at a time from the least
+    /// significant end: two table lookups per nibble, 32 iterations per
+    /// block instead of 128 bit tests. The differential oracle for the
+    /// carry-less-multiply path.
+    fn mul_h_scalar(&self, z: u128) -> u128 {
         let mut acc = 0u128;
         for k in 0..32 {
             let nib = ((z >> (4 * k)) & 0xf) as usize;
@@ -129,13 +159,20 @@ pub struct AesGcm {
 }
 
 impl AesGcm {
-    /// Create an AES-GCM instance with a 16/24/32-byte key.
+    /// Create an AES-GCM instance with a 16/24/32-byte key, snapshotting
+    /// [`CpuFeatures::get`] once for both the AES and GHASH backends.
     pub fn new(key: &[u8]) -> Self {
-        let aes = Aes::new(key);
+        Self::with_features(key, CpuFeatures::get())
+    }
+
+    /// [`AesGcm::new`] with an explicit feature snapshot (differential
+    /// tests pass [`CpuFeatures::none`] to force the scalar oracles).
+    pub fn with_features(key: &[u8], feat: CpuFeatures) -> Self {
+        let aes = Aes::with_features(key, feat);
         let h = aes.encrypt(&[0u8; 16]);
         AesGcm {
             aes,
-            ghash: GHash::new(h),
+            ghash: GHash::new(h, feat.pclmulqdq),
         }
     }
 
@@ -148,7 +185,22 @@ impl AesGcm {
 
     fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
         let mut counter = 2u32; // counter 1 is reserved for the tag mask
-        for chunk in data.chunks_mut(16) {
+                                // Four blocks per AES call: on the AES-NI path the four aesenc
+                                // dependency chains pipeline; the keystream bytes are identical
+                                // to the one-block-at-a-time loop by construction.
+        let mut chunks = data.chunks_exact_mut(64);
+        for chunk in chunks.by_ref() {
+            let mut ks = [0u8; 64];
+            for blk in ks.chunks_exact_mut(16) {
+                blk.copy_from_slice(&Self::counter_block(nonce, counter));
+                counter = counter.wrapping_add(1);
+            }
+            self.aes.encrypt_blocks4(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        for chunk in chunks.into_remainder().chunks_mut(16) {
             let ks = self.aes.encrypt(&Self::counter_block(nonce, counter));
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                 *b ^= k;
@@ -199,6 +251,18 @@ impl AesGcm {
         self.ctr_xor(nonce, data);
         Ok(())
     }
+}
+
+/// Differential-test hook for the `crypto_props` suite: GHASH over
+/// `data` (zero-padded to a block boundary) with the backend named by
+/// `hw` — pass `false` for the Shoup-table oracle, `true` only when the
+/// CPU reports PCLMULQDQ.
+#[doc(hidden)]
+pub fn ghash_oracle(h: [u8; 16], data: &[u8], hw: bool) -> [u8; 16] {
+    let gh = GHash::new(h, hw);
+    let mut y = 0u128;
+    gh.update_padded(&mut y, data);
+    y.to_be_bytes()
 }
 
 #[cfg(test)]
@@ -294,7 +358,7 @@ mod tests {
     #[test]
     fn shoup_table_matches_bit_by_bit_edges() {
         for h in [0u128, 1, u128::MAX, 0xe1 << 120, 0x8000_0000_0000_0000] {
-            let gh = GHash::new(h.to_be_bytes());
+            let gh = GHash::new(h.to_be_bytes(), false);
             for z in [0u128, 1, 2, u128::MAX, h, !h, 0xdead_beef] {
                 assert_eq!(gh.mul_h(z), gf_mul(z, h), "h={h:x} z={z:x}");
             }
@@ -309,8 +373,22 @@ mod tests {
             h in proptest::prelude::any::<u128>(),
             z in proptest::prelude::any::<u128>(),
         ) {
-            let gh = GHash::new(h.to_be_bytes());
+            let gh = GHash::new(h.to_be_bytes(), false);
             proptest::prop_assert_eq!(gh.mul_h(z), gf_mul(z, h));
+        }
+
+        // The carry-less-multiply kernel is pinned to the same bit-level
+        // reference (and hence to the Shoup table) on arbitrary field
+        // elements, whenever the CPU can run it.
+        #[test]
+        fn clmul_matches_bit_by_bit(
+            h in proptest::prelude::any::<u128>(),
+            z in proptest::prelude::any::<u128>(),
+        ) {
+            if crate::hw::CpuFeatures::detect_with(false).pclmulqdq {
+                let gh = GHash::new(h.to_be_bytes(), true);
+                proptest::prop_assert_eq!(gh.mul_h(z), gf_mul(z, h));
+            }
         }
     }
 

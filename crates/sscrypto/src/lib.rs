@@ -22,12 +22,24 @@
 //! 1321, FIPS 180-4, RFC 2202, RFC 5869, FIPS 197, NIST SP 800-38A/D,
 //! RFC 8439) in the module unit tests.
 //!
+//! ## Hardware fast paths
+//!
+//! The cipher hot paths ([`aes`], [`gcm`], [`chacha20`]) carry
+//! `std::arch` fast paths (AES-NI, PCLMULQDQ, SSSE3/AVX2) selected once
+//! per cipher instantiation from a cached [`hw::CpuFeatures`] probe.
+//! The scalar implementations stay compiled as the differential oracle;
+//! `GFWSIM_NO_HWCRYPTO=1` (or [`hw::set_force_scalar`]) forces them.
+//! Both paths are byte-identical, pinned by the `crypto_props` suite.
+//!
 //! ## Non-goals
 //!
 //! Constant-time operation and side-channel resistance are non-goals:
 //! these primitives feed a censorship *simulator*, not production traffic.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `x86` module carries the crate's
+// audited unsafe sites (see `[unsafe-budget]` in lint-baseline.toml);
+// everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aead;
@@ -38,6 +50,7 @@ pub mod ctr;
 pub mod gcm;
 pub mod hkdf;
 pub mod hmac;
+pub mod hw;
 pub mod kdf;
 pub mod md5;
 pub mod method;
@@ -45,6 +58,8 @@ pub mod poly1305;
 pub mod rc4;
 pub mod sha1;
 pub mod sha256;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
 
 /// Error type for authenticated decryption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,6 +11,7 @@ use crate::cfb::{AesCfb, Direction};
 use crate::chacha20::{ChaCha20, ChaCha20Legacy};
 use crate::ctr::AesCtr;
 use crate::gcm::AesGcm;
+use crate::hw::CpuFeatures;
 use crate::rc4::{rc4_md5, Rc4};
 
 /// Whether a method uses the stream construction or the AEAD construction.
@@ -158,6 +159,23 @@ impl Method {
     /// Panics if called on an AEAD method, on a key of the wrong length,
     /// or an IV of the wrong length.
     pub fn new_stream(&self, key: &[u8], iv: &[u8], dir: Direction) -> Box<dyn StreamCipher> {
+        self.new_stream_with(key, iv, dir, CpuFeatures::get())
+    }
+
+    /// [`Method::new_stream`] with an explicit feature snapshot
+    /// (differential tests pass [`CpuFeatures::none`] to force the
+    /// scalar oracles).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Method::new_stream`].
+    pub fn new_stream_with(
+        &self,
+        key: &[u8],
+        iv: &[u8],
+        dir: Direction,
+        feat: CpuFeatures,
+    ) -> Box<dyn StreamCipher> {
         assert_eq!(
             self.kind(),
             Kind::Stream,
@@ -173,19 +191,21 @@ impl Method {
         assert_eq!(iv.len(), self.iv_len(), "bad IV length for {}", self.name());
         match self {
             Method::Aes128Ctr | Method::Aes192Ctr | Method::Aes256Ctr => {
-                Box::new(AesCtr::new(key, iv.try_into().unwrap()))
+                Box::new(AesCtr::with_features(key, iv.try_into().unwrap(), feat))
             }
-            Method::Aes128Cfb | Method::Aes192Cfb | Method::Aes256Cfb => {
-                Box::new(AesCfb::new(key, iv.try_into().unwrap(), dir))
-            }
-            Method::ChaCha20 => Box::new(ChaCha20Legacy::new(
+            Method::Aes128Cfb | Method::Aes192Cfb | Method::Aes256Cfb => Box::new(
+                AesCfb::with_features(key, iv.try_into().unwrap(), dir, feat),
+            ),
+            Method::ChaCha20 => Box::new(ChaCha20Legacy::with_features(
                 key.try_into().unwrap(),
                 iv.try_into().unwrap(),
+                feat,
             )),
-            Method::ChaCha20Ietf => Box::new(ChaCha20::new(
+            Method::ChaCha20Ietf => Box::new(ChaCha20::with_features(
                 key.try_into().unwrap(),
                 iv.try_into().unwrap(),
                 0,
+                feat,
             )),
             Method::Rc4Md5 => Box::new(rc4_md5(key, iv)),
             _ => unreachable!(),
@@ -199,6 +219,17 @@ impl Method {
     ///
     /// Panics if called on a stream method or with a wrong-length subkey.
     pub fn new_aead(&self, subkey: &[u8]) -> Box<dyn Aead> {
+        self.new_aead_with(subkey, CpuFeatures::get())
+    }
+
+    /// [`Method::new_aead`] with an explicit feature snapshot
+    /// (differential tests pass [`CpuFeatures::none`] to force the
+    /// scalar oracles).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Method::new_aead`].
+    pub fn new_aead_with(&self, subkey: &[u8], feat: CpuFeatures) -> Box<dyn Aead> {
         assert_eq!(
             self.kind(),
             Kind::Aead,
@@ -213,15 +244,37 @@ impl Method {
         );
         match self {
             Method::Aes128Gcm | Method::Aes192Gcm | Method::Aes256Gcm => {
-                Box::new(AesGcm::new(subkey))
+                Box::new(AesGcm::with_features(subkey, feat))
             }
-            Method::ChaCha20IetfPoly1305 => {
-                Box::new(ChaCha20Poly1305::new(subkey.try_into().unwrap()))
-            }
-            Method::XChaCha20IetfPoly1305 => {
-                Box::new(XChaCha20Poly1305::new(subkey.try_into().unwrap()))
-            }
+            Method::ChaCha20IetfPoly1305 => Box::new(ChaCha20Poly1305::with_features(
+                subkey.try_into().unwrap(),
+                feat,
+            )),
+            Method::XChaCha20IetfPoly1305 => Box::new(XChaCha20Poly1305::with_features(
+                subkey.try_into().unwrap(),
+                feat,
+            )),
             _ => unreachable!(),
+        }
+    }
+
+    /// Whether the given feature snapshot accelerates this method's
+    /// data path (AES-NI for the AES family, SSSE3/AVX2 lanes for the
+    /// ChaCha20 family; rc4-md5 is always scalar).
+    pub fn hw_accelerated_with(&self, feat: CpuFeatures) -> bool {
+        match self {
+            Method::Aes128Ctr
+            | Method::Aes192Ctr
+            | Method::Aes256Ctr
+            | Method::Aes128Cfb
+            | Method::Aes192Cfb
+            | Method::Aes256Cfb => feat.aes,
+            Method::Aes128Gcm | Method::Aes192Gcm | Method::Aes256Gcm => feat.aes || feat.pclmulqdq,
+            Method::ChaCha20
+            | Method::ChaCha20Ietf
+            | Method::ChaCha20IetfPoly1305
+            | Method::XChaCha20IetfPoly1305 => feat.ssse3 || feat.avx2,
+            Method::Rc4Md5 => false,
         }
     }
 }

@@ -9,7 +9,6 @@
 //! buffers hit the batch loops, and the outputs must agree exactly.
 
 use proptest::prelude::*;
-use sscrypto::aead::Aead;
 use sscrypto::chacha20::{ChaCha20, ChaCha20Legacy};
 use sscrypto::method::{Kind, Method, ALL_METHODS};
 use sscrypto::poly1305::Poly1305;
@@ -149,4 +148,190 @@ proptest! {
             m.name(), flip_bit, pos
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware vs scalar differentials (PR 9).
+//
+// Each property instantiates the same primitive twice — once with the
+// detected feature snapshot (AES-NI / PCLMULQDQ / SSSE3 / AVX2 paths when
+// the CPU has them) and once with `CpuFeatures::none()` (the PR-5 scalar
+// oracles) — and requires byte-identical output. On machines without the
+// features both sides run scalar and the properties degrade to self-
+// consistency checks; CI runs on x86_64 with all four features present.
+// ---------------------------------------------------------------------------
+
+use sscrypto::aes::Aes;
+use sscrypto::cfb::Direction;
+use sscrypto::gcm::ghash_oracle;
+use sscrypto::hw::CpuFeatures;
+
+/// The feature snapshot the differential properties test against: raw
+/// detection, ignoring `GFWSIM_NO_HWCRYPTO` and the force-scalar switch
+/// so the suite still exercises the hardware paths when it is itself run
+/// under the forced-scalar CI leg.
+fn detected() -> CpuFeatures {
+    CpuFeatures::detect_with(false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AES-NI single blocks and 4-block batches match the scalar cipher
+    /// for all three key sizes.
+    #[test]
+    fn aes_hw_matches_scalar(
+        key in proptest::collection::vec(any::<u8>(), 16..=32),
+        block in any::<[u8; 16]>(),
+        batch in any::<[u8; 32]>(),
+    ) {
+        let key = match key.len() {
+            16..=23 => &key[..16],
+            24..=31 => &key[..24],
+            _ => &key[..32],
+        };
+        let hw = Aes::with_features(key, detected());
+        let scalar = Aes::with_features(key, CpuFeatures::none());
+        prop_assert!(!scalar.is_hw());
+
+        let mut a = block;
+        let mut b = block;
+        hw.encrypt_block(&mut a);
+        scalar.encrypt_block(&mut b);
+        prop_assert_eq!(a, b, "single block, key len {}", key.len());
+
+        let mut four = [0u8; 64];
+        four[..32].copy_from_slice(&batch);
+        four[32..].copy_from_slice(&batch);
+        let mut c = four;
+        hw.encrypt_blocks4(&mut four);
+        scalar.encrypt_blocks4(&mut c);
+        prop_assert_eq!(four, c, "4-block batch, key len {}", key.len());
+    }
+
+    /// CLMUL GHASH matches the Shoup-table scalar oracle on arbitrary
+    /// data and arbitrary segmentation (segmentation is irrelevant to
+    /// GHASH itself but exercises the padded-block assembly).
+    #[test]
+    fn ghash_hw_matches_scalar(
+        h in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        prop_assert_eq!(
+            ghash_oracle(h, &data, detected().pclmulqdq),
+            ghash_oracle(h, &data, false)
+        );
+    }
+
+    /// SSSE3/AVX2 ChaCha20 keystream matches the scalar oracle across
+    /// arbitrary lengths and segmentations (hitting the 512-byte AVX2
+    /// batch, the 256-byte SSSE3 batch, single blocks, and partial-block
+    /// carry between segments).
+    #[test]
+    fn chacha20_hw_matches_scalar(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        counter in any::<u32>(),
+        len in 1usize..4096,
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let data = vec![0u8; len];
+        let mut hw_out = Vec::new();
+        let mut scalar_out = Vec::new();
+        let mut hw = ChaCha20::with_features(&key, &nonce, counter, detected());
+        let mut scalar = ChaCha20::with_features(&key, &nonce, counter, CpuFeatures::none());
+        for seg in segments(&data, &cuts) {
+            let mut a = seg.clone();
+            let mut b = seg;
+            hw.apply(&mut a);
+            scalar.apply(&mut b);
+            hw_out.extend_from_slice(&a);
+            scalar_out.extend_from_slice(&b);
+        }
+        prop_assert_eq!(hw_out, scalar_out);
+    }
+
+    /// Every AEAD method: hardware seal equals scalar seal byte for
+    /// byte (ciphertext and tag), and each side opens the other's
+    /// output.
+    #[test]
+    fn aead_hw_matches_scalar(
+        midx in 0usize..8,
+        plain in proptest::collection::vec(any::<u8>(), 1..2048),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        nonce_fill in any::<u8>(),
+    ) {
+        let of_kind: Vec<Method> = ALL_METHODS
+            .iter()
+            .copied()
+            .filter(|m| m.kind() == Kind::Aead)
+            .collect();
+        let m = of_kind[midx % of_kind.len()];
+        let key = sscrypto::kdf::evp_bytes_to_key(b"hw-vs-scalar", m.key_len());
+        let hw = m.new_aead_with(&key, detected());
+        let scalar = m.new_aead_with(&key, CpuFeatures::none());
+        let nonce = vec![nonce_fill; hw.nonce_len()];
+
+        let mut ct_hw = plain.clone();
+        let tag_hw = hw.seal(&nonce, &aad, &mut ct_hw);
+        let mut ct_scalar = plain.clone();
+        let tag_scalar = scalar.seal(&nonce, &aad, &mut ct_scalar);
+        prop_assert_eq!(&ct_hw, &ct_scalar, "{}: ciphertext differs", m.name());
+        prop_assert_eq!(tag_hw, tag_scalar, "{}: tag differs", m.name());
+
+        // Cross-open: scalar opens the hardware ciphertext and vice versa.
+        let mut cross = ct_hw.clone();
+        prop_assert!(scalar.open(&nonce, &aad, &mut cross, &tag_hw).is_ok());
+        prop_assert_eq!(&cross, &plain, "{}", m.name());
+        let mut cross = ct_scalar;
+        prop_assert!(hw.open(&nonce, &aad, &mut cross, &tag_scalar).is_ok());
+        prop_assert_eq!(&cross, &plain, "{}", m.name());
+    }
+
+    /// Every stream method: hardware encrypt equals scalar encrypt, and
+    /// the scalar decryptor round-trips the hardware ciphertext.
+    #[test]
+    fn stream_hw_matches_scalar(
+        midx in 0usize..8,
+        plain in proptest::collection::vec(any::<u8>(), 1..2048),
+        iv_fill in any::<u8>(),
+    ) {
+        let of_kind: Vec<Method> = ALL_METHODS
+            .iter()
+            .copied()
+            .filter(|m| m.kind() == Kind::Stream)
+            .collect();
+        let m = of_kind[midx % of_kind.len()];
+        let key = sscrypto::kdf::evp_bytes_to_key(b"hw-vs-scalar", m.key_len());
+        let iv = vec![iv_fill; m.iv_len()];
+
+        let mut ct_hw = plain.clone();
+        m.new_stream_with(&key, &iv, Direction::Encrypt, detected())
+            .apply(&mut ct_hw);
+        let mut ct_scalar = plain.clone();
+        m.new_stream_with(&key, &iv, Direction::Encrypt, CpuFeatures::none())
+            .apply(&mut ct_scalar);
+        prop_assert_eq!(&ct_hw, &ct_scalar, "{}: ciphertext differs", m.name());
+
+        let mut rt = ct_hw;
+        m.new_stream_with(&key, &iv, Direction::Decrypt, CpuFeatures::none())
+            .apply(&mut rt);
+        prop_assert_eq!(&rt, &plain, "{}: round-trip differs", m.name());
+    }
+}
+
+/// `set_force_scalar` masks the cached snapshot without re-probing, and
+/// releasing it restores hardware dispatch.
+#[test]
+fn force_scalar_switch_controls_dispatch() {
+    sscrypto::hw::set_force_scalar(true);
+    assert!(!CpuFeatures::get().any());
+    assert!(!Aes::with_features(b"0123456789abcdef", CpuFeatures::get()).is_hw());
+    sscrypto::hw::set_force_scalar(false);
+    // With the switch released, `get` reports whatever detection found,
+    // still masked by the env override (CI runs this suite both ways).
+    assert_eq!(
+        CpuFeatures::get().any(),
+        CpuFeatures::detect_with(sscrypto::hw::env_disabled()).any()
+    );
 }
