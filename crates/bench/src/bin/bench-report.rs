@@ -379,11 +379,26 @@ const SCALE_STEMS: &[&str] = &[
     "hybrid_10k",
     "hybrid_100k",
     "hybrid_1m",
+    "hybrid_1m_shards1",
+    "hybrid_1m_shards4",
+    "hybrid_1m_shards8",
 ];
 
 /// Acceptance bar for the hybrid engine: flows/sec at 100k flows must
 /// beat the pure packet engine by at least this factor.
 const SCALE_MIN_SPEEDUP_100K: f64 = 10.0;
+
+/// Acceptance bar for the shard executor on a machine with at least 8
+/// hardware threads: the 1M-flow sharded run at 8 workers must beat
+/// the same partition at 1 worker by at least this factor.
+const SCALE_MIN_SPEEDUP_SHARDS8: f64 = 3.0;
+
+/// Regression floor for the 8-worker run on machines with fewer than 8
+/// hardware threads (the recorded "parallelism" field), where a raw
+/// parallel speedup is physically unavailable: the executor's own
+/// overhead (barriers, thread spawn, oversubscription) must still not
+/// cost more than ~30% against the single-worker run.
+const SCALE_MIN_SPEEDUP_SHARDS8_SERIAL: f64 = 0.7;
 
 /// Regression floor for the fig10 grid in full-mode substrate files
 /// measured with hardware crypto dispatch active: the AES-NI/CLMUL
@@ -499,6 +514,22 @@ fn check_scale_file(text: &str) -> Vec<String> {
             "\"speedup_flows_100k\" {v} below the {SCALE_MIN_SPEEDUP_100K}x acceptance bar"
         )),
         None => problems.push("missing \"speedup_flows_100k\"".to_string()),
+    }
+    // The parallel-speedup bar only makes sense where the hardware can
+    // deliver parallelism; otherwise hold the serial-overhead floor.
+    let parallel = extract_number(text, "parallelism").unwrap_or(1.0);
+    let (bar, label) = if parallel >= 8.0 {
+        (SCALE_MIN_SPEEDUP_SHARDS8, "acceptance bar")
+    } else {
+        (SCALE_MIN_SPEEDUP_SHARDS8_SERIAL, "serial-overhead floor")
+    };
+    match extract_number(text, "speedup_shards8_1m") {
+        Some(v) if v >= bar => {}
+        Some(v) => problems.push(format!(
+            "\"speedup_shards8_1m\" {v} below the {bar}x {label} \
+             (parallelism {parallel})"
+        )),
+        None => problems.push("missing \"speedup_shards8_1m\"".to_string()),
     }
     problems
 }
@@ -866,15 +897,21 @@ mod tests {
         }
     }
 
-    fn fake_scale_json(speedup: f64) -> String {
+    fn fake_scale_json_full(speedup: f64, shards8: f64, parallelism: u32) -> String {
         let mut s =
             String::from("{\n  \"schema\": 1,\n  \"bench\": \"scale\",\n  \"mode\": \"full\",\n");
+        s.push_str(&format!("  \"parallelism\": {parallelism},\n"));
         for stem in SCALE_STEMS {
             s.push_str(&format!("  \"{stem}_flows_per_sec\": 1000.0,\n"));
             s.push_str(&format!("  \"{stem}_rss_kb\": 5000,\n"));
         }
+        s.push_str(&format!("  \"speedup_shards8_1m\": {shards8:.2},\n"));
         s.push_str(&format!("  \"speedup_flows_100k\": {speedup:.2}\n}}\n"));
         s
+    }
+
+    fn fake_scale_json(speedup: f64) -> String {
+        fake_scale_json_full(speedup, 4.0, 16)
     }
 
     #[test]
@@ -892,6 +929,39 @@ mod tests {
         let problems = check_scale_file(&fake_scale_json(7.5));
         assert!(
             problems.iter().any(|p| p.contains("speedup_flows_100k")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn scale_shard_speedup_below_bar_is_rejected_with_parallel_hw() {
+        // 16 hardware threads: the full 3x bar applies.
+        let problems = check_scale_file(&fake_scale_json_full(42.0, 2.4, 16));
+        assert!(
+            problems.iter().any(|p| p.contains("speedup_shards8_1m")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn scale_shard_gate_relaxes_to_overhead_floor_on_serial_hw() {
+        // 1 hardware thread: a parallel speedup is impossible; anything
+        // at or above the overhead floor passes, below it fails.
+        let ok = check_scale_file(&fake_scale_json_full(42.0, 0.9, 1));
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = check_scale_file(&fake_scale_json_full(42.0, 0.5, 1));
+        assert!(
+            bad.iter().any(|p| p.contains("serial-overhead floor")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn scale_missing_shard_speedup_is_rejected() {
+        let body = fake_scale_json(42.0).replace("speedup_shards8_1m", "speedup_other");
+        let problems = check_scale_file(&body);
+        assert!(
+            problems.iter().any(|p| p.contains("speedup_shards8_1m")),
             "{problems:?}"
         );
     }

@@ -75,6 +75,18 @@ impl VerdictCounters {
         let t = self.stored_true.wrapping_add(self.missed_true);
         (t > 0).then(|| self.stored_true as f64 / t as f64)
     }
+
+    /// Fold another cell's counters into this one. Every field is a
+    /// plain sum, so merging in shard order is associative and the
+    /// result is independent of how hosts were partitioned.
+    pub fn merge(&mut self, other: &VerdictCounters) {
+        self.inspected = self.inspected.wrapping_add(other.inspected);
+        self.exempt = self.exempt.wrapping_add(other.exempt);
+        self.stored_true = self.stored_true.wrapping_add(other.stored_true);
+        self.stored_false = self.stored_false.wrapping_add(other.stored_false);
+        self.missed_true = self.missed_true.wrapping_add(other.missed_true);
+        self.passed_false = self.passed_false.wrapping_add(other.passed_false);
+    }
 }
 
 /// Per-connection GFW bookkeeping, one map entry per connection the tap
@@ -198,8 +210,11 @@ impl Tap for GfwTap {
         // 2+3. One hash probe resolves both "our own probe?" and
         // "already inspected?"; RST/FIN retires an inspected entry.
         match st.conn_track.get(&pkt.conn) {
-            Some(ConnTrack::Own) => return TapVerdict::Pass,
-            Some(ConnTrack::SeenData(_)) => {
+            Some(ConnTrack::Own | ConnTrack::SeenData(_)) => {
+                // ConnIds are never reused, so retiring the entry on
+                // teardown is safe for both variants — and necessary:
+                // leaving probe entries in place retains one map slot
+                // per probe for the lifetime of the simulation.
                 if pkt.flags.rst || pkt.flags.fin {
                     st.conn_track.remove(&pkt.conn);
                 }
@@ -478,5 +493,13 @@ impl GfwState {
     /// How many payloads destined to `server` the passive stage stored.
     pub fn stored_towards(&self, server: SocketAddr) -> u64 {
         self.stored_by_server.get(&server).copied().unwrap_or(0)
+    }
+
+    /// Connections the tap is still tracking (own probes plus
+    /// inspected-but-not-yet-closed flows). Entries retire on RST/FIN,
+    /// so after every connection tears down this returns to zero — the
+    /// retention regression test pins that down.
+    pub fn tracked_conns(&self) -> usize {
+        self.conn_track.len()
     }
 }

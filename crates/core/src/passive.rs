@@ -375,8 +375,10 @@ mod tests {
 
     #[test]
     fn exemption_can_be_disabled() {
-        let mut cfg = PassiveConfig::default();
-        cfg.exempt_plaintext = false;
+        let cfg = PassiveConfig {
+            exempt_plaintext: false,
+            ..Default::default()
+        };
         let d = PassiveDetector::new(cfg);
         let mut tls = vec![0x16, 0x03, 0x01];
         tls.resize(402, 0xAB);

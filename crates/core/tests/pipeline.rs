@@ -119,7 +119,7 @@ fn build(profile: Profile, method: Method, sensitivity: f64, seed: u64) -> Setup
         sscrypto::method::Kind::Stream => method.iv_len() + 7,
         sscrypto::method::Kind::Aead => method.iv_len() + (2 + 16 + 16) * 2 + 7,
     };
-    let wire_target = 402 + (16 - 402 % 16 + 2) % 16; // nearest ≥402 with rem 2
+    let wire_target = 402; // already ≡ 2 (mod 16): an attractive remainder
     let payload_len = wire_target + 160 - overhead; // stay in-band regardless
     let driver = sim.add_app(Box::new(SsTrafficDriver {
         config: ss_config,
@@ -296,6 +296,32 @@ fn sink_host_without_traffic_is_never_probed() {
     let st = setup.handle.state.borrow();
     assert!(st.probes().iter().all(|p| p.server.0 != control_ip));
     assert!(!st.probes().is_empty(), "the real server was probed");
+}
+
+#[test]
+fn tap_state_drains_when_connections_close() {
+    // Regression: the tap used to retire only inspected-flow entries on
+    // RST/FIN and keep its own probe entries forever, retaining one map
+    // slot per probe for the lifetime of the simulation. After every
+    // connection (client traffic and probes alike) has torn down, the
+    // per-connection table must be empty again.
+    let mut setup = build(Profile::LIBEV_OLD, Method::Aes256Cfb, 0.0, 16);
+    drive_connections(&mut setup, 400, Duration::from_secs(30));
+    setup.sim.run();
+
+    let st = setup.handle.state.borrow();
+    assert!(
+        !st.probes().is_empty(),
+        "run produced no probes, test is vacuous"
+    );
+    // Border-crossing connections (client traffic and probes) have all
+    // torn down; only the server's upstream legs to the website — which
+    // never cross the border and are invisible to the tap — stay open.
+    assert_eq!(
+        st.tracked_conns(),
+        0,
+        "tap retained per-connection state after teardown"
+    );
 }
 
 #[test]

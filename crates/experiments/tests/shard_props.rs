@@ -1,0 +1,244 @@
+//! Property tests for sharded execution: however the hosts are
+//! partitioned into cells, the merged counters conserve what the
+//! workload delivered — echoed bytes are exact, per-connection verdict
+//! sums are partition-invariant, and the worker count never shows.
+
+use gfw_core::blocking::BlockingConfig;
+use gfw_core::gfw::VerdictCounters;
+use gfw_core::{Gfw, GfwConfig};
+use netsim::app::{App, AppEvent, Ctx};
+use netsim::conn::TcpTuning;
+use netsim::host::{HostConfig, Region};
+use netsim::packet::Ipv4;
+use netsim::shard::FinishFn;
+use netsim::time::{Duration, SimTime};
+use netsim::{run_sharded, Coupling, ShardCell, SimConfig, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const PAYLOAD_LEN: usize = 500;
+const PORT: u16 = 8388;
+
+/// Echoes every data segment back, and completes the close handshake.
+struct EchoServer;
+impl App for EchoServer {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Data { conn, data } => ctx.send(conn, data),
+            AppEvent::PeerFin { conn } => ctx.fin(conn),
+            _ => {}
+        }
+    }
+}
+
+/// Sends one high-entropy payload per connection, counts echoed bytes,
+/// closes after the echo. Counting on the client side keeps probe
+/// traffic (whose volume is partition-dependent) out of the tally.
+struct CountingClient {
+    rng: StdRng,
+    echoed: Rc<RefCell<u64>>,
+}
+impl App for CountingClient {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Connected { conn } => {
+                let mut payload = vec![0u8; PAYLOAD_LEN];
+                self.rng.fill(&mut payload[..]);
+                ctx.send(conn, payload);
+            }
+            AppEvent::Data { conn, data } => {
+                *self.echoed.borrow_mut() += data.len() as u64;
+                ctx.fin(conn);
+            }
+            AppEvent::PeerFin { conn } => ctx.fin(conn),
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of one cell: echoed bytes, verdict counters, leak check.
+struct CellOut {
+    echoed: u64,
+    verdicts: VerdictCounters,
+    tracked: usize,
+}
+
+/// Run `n` colocated client/server pairs, assigned to cells by
+/// `assignment` (pair i lives wholly in cell `assignment[i]`), with a
+/// full GFW (blocking disabled) installed in every cell. Labels
+/// even-indexed pairs as genuine Shadowsocks servers.
+fn run_partitioned(assignment: &[usize], workers: usize) -> (u64, VerdictCounters) {
+    let cells_n = assignment.iter().copied().max().unwrap_or(0) + 1;
+    let cells: Vec<ShardCell<CellOut>> = (0..cells_n)
+        .map(|cell| {
+            let pairs: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == cell)
+                .map(|(i, _)| i)
+                .collect();
+            ShardCell::new(move |idx| {
+                let mut sim = Simulator::new(SimConfig::default(), 900 + idx as u64);
+                sim.set_conn_id_base((idx as u64) << 48);
+                let mut config = GfwConfig::default();
+                config.fleet.pool_size = 4;
+                config.blocking = BlockingConfig {
+                    sensitivity: 0.0,
+                    ..Default::default()
+                };
+                let handle = Gfw::install(&mut sim, config, 77 + idx as u64);
+                let echoed = Rc::new(RefCell::new(0u64));
+                let client_app = sim.add_app(Box::new(CountingClient {
+                    rng: StdRng::seed_from_u64(42 + idx as u64),
+                    echoed: echoed.clone(),
+                }));
+                let server_app = sim.add_app(Box::new(EchoServer));
+                for (k, &pair) in pairs.iter().enumerate() {
+                    let server = sim.add_host(HostConfig::outside("srv"));
+                    let client = sim.add_host(HostConfig::china("cli"));
+                    sim.listen((server, PORT), server_app);
+                    if pair % 2 == 0 {
+                        handle.state.borrow_mut().label_shadowsocks_server(server);
+                    }
+                    sim.connect_at(
+                        SimTime::ZERO + Duration::from_millis(100 * k as u64),
+                        client_app,
+                        client,
+                        (server, PORT),
+                        TcpTuning::default(),
+                    );
+                }
+                let finish: FinishFn<CellOut> = Box::new(move |_sim: Simulator| {
+                    let st = handle.state.borrow();
+                    CellOut {
+                        echoed: *echoed.borrow(),
+                        verdicts: st.verdict_counters(),
+                        tracked: st.tracked_conns(),
+                    }
+                });
+                (sim, finish)
+            })
+        })
+        .collect();
+    let out = run_sharded(cells, workers, Coupling::Isolated);
+    let mut echoed = 0u64;
+    let mut verdicts = VerdictCounters::default();
+    for cell in &out {
+        echoed += cell.echoed;
+        verdicts.merge(&cell.verdicts);
+        assert_eq!(cell.tracked, 0, "a cell's tap leaked per-conn state");
+    }
+    (echoed, verdicts)
+}
+
+/// Cross-cell variant, no GFW: clients all live in cell 0, each server
+/// either beside them (colocated) or in cell 1 (reached through the
+/// window mailboxes). Returns (echoed bytes, live conns per cell).
+fn run_split(server_remote: &[bool], workers: usize) -> (u64, Vec<u64>) {
+    let n = server_remote.len();
+    let addr = |octet: u8, i: usize| Ipv4::new(octet, 1, (i / 200) as u8, (i % 200) as u8);
+    let remote: Vec<bool> = server_remote.to_vec();
+    let cells: Vec<ShardCell<(u64, u64)>> = (0..2usize)
+        .map(|idx_outer| {
+            let _ = idx_outer;
+            let remote = remote.clone();
+            ShardCell::new(move |idx| {
+                let mut sim = Simulator::new(SimConfig::default(), 300 + idx as u64);
+                sim.set_conn_id_base((idx as u64) << 48);
+                let echoed = Rc::new(RefCell::new(0u64));
+                let client_app = sim.add_app(Box::new(CountingClient {
+                    rng: StdRng::seed_from_u64(9 + idx as u64),
+                    echoed: echoed.clone(),
+                }));
+                let server_app = sim.add_app(Box::new(EchoServer));
+                for (i, &is_remote) in remote.iter().enumerate() {
+                    let client = addr(110, i);
+                    let server = addr(172, i);
+                    if idx == 0 {
+                        sim.add_host_with_addr(client, HostConfig::china("cli"));
+                        if is_remote {
+                            sim.add_remote_host(server, Region::Outside, 1);
+                        } else {
+                            sim.add_host_with_addr(server, HostConfig::outside("srv"));
+                            sim.listen((server, PORT), server_app);
+                        }
+                        sim.connect_at(
+                            SimTime::ZERO + Duration::from_millis(50 * i as u64),
+                            client_app,
+                            client,
+                            (server, PORT),
+                            TcpTuning::default(),
+                        );
+                    } else if is_remote {
+                        sim.add_host_with_addr(server, HostConfig::outside("srv"));
+                        sim.listen((server, PORT), server_app);
+                        sim.add_remote_host(client, Region::China, 0);
+                    }
+                }
+                let finish: FinishFn<(u64, u64)> = Box::new(move |sim: Simulator| {
+                    (*echoed.borrow(), sim.live_connections() as u64)
+                });
+                (sim, finish)
+            })
+        })
+        .collect();
+    let out = run_sharded(
+        cells,
+        workers,
+        Coupling::Windowed {
+            lookahead: Duration::from_millis(2),
+        },
+    );
+    let _ = n;
+    (
+        out.iter().map(|(e, _)| e).sum(),
+        out.iter().map(|(_, l)| *l).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any assignment of pairs to up to 3 cells conserves echoed bytes
+    /// exactly and keeps the per-connection verdict sums — which are
+    /// RNG-free even though the store/miss split is not — equal to the
+    /// ground-truth pair counts. The worker count changes nothing.
+    #[test]
+    fn partitions_conserve_bytes_and_verdicts(
+        assignment in proptest::collection::vec(0usize..3, 3..=10),
+        workers in 1usize..=3,
+    ) {
+        let n = assignment.len() as u64;
+        let labelled = assignment.iter().enumerate().filter(|(i, _)| i % 2 == 0).count() as u64;
+        let (echoed, verdicts) = run_partitioned(&assignment, workers);
+        prop_assert_eq!(echoed, n * PAYLOAD_LEN as u64);
+        prop_assert_eq!(verdicts.inspected, n);
+        prop_assert_eq!(verdicts.stored_true + verdicts.missed_true, labelled);
+        prop_assert_eq!(verdicts.stored_false + verdicts.passed_false, n - labelled);
+
+        let (echoed_1, verdicts_1) = run_partitioned(&assignment, 1);
+        prop_assert_eq!(echoed, echoed_1);
+        prop_assert_eq!(verdicts, verdicts_1);
+    }
+
+    /// Random client/server splits across two windowed cells deliver
+    /// every echoed byte through the mailboxes and leak no connections,
+    /// identically at any worker count.
+    #[test]
+    fn cross_cell_splits_conserve_bytes(
+        server_remote in proptest::collection::vec(any::<bool>(), 1..=6),
+        workers in 1usize..=3,
+    ) {
+        let n = server_remote.len() as u64;
+        let (echoed, live) = run_split(&server_remote, workers);
+        prop_assert_eq!(echoed, n * PAYLOAD_LEN as u64);
+        prop_assert_eq!(live.iter().sum::<u64>(), 0, "leaked connections: {:?}", live);
+
+        let (echoed_1, live_1) = run_split(&server_remote, 1);
+        prop_assert_eq!(echoed, echoed_1);
+        prop_assert_eq!(live, live_1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture shard executor — the one netsim file where threads are
+//! allowed (it runs whole simulators on worker threads).
+
+/// Advance a batch of cells on scoped worker threads.
+pub fn run_sharded(cells: Vec<fn()>) {
+    std::thread::scope(|s| {
+        for cell in cells {
+            s.spawn(cell);
+        }
+    });
+}

@@ -132,6 +132,19 @@ impl LinkBandwidth {
             LinkId::Intra => self.intra,
         }
     }
+
+    /// Split every link's capacity across `n` equal shard cells. Each
+    /// cell's fluid model then arbitrates its share independently, so
+    /// the aggregate offered capacity matches the unsharded topology
+    /// regardless of the cell count.
+    pub fn divided(self, n: u64) -> LinkBandwidth {
+        let n = n.max(1);
+        LinkBandwidth {
+            cn_to_intl: self.cn_to_intl / n,
+            intl_to_cn: self.intl_to_cn / n,
+            intra: self.intra / n,
+        }
+    }
 }
 
 /// A completed fluid flow, reported by [`FluidState::on_advance`].

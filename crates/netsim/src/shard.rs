@@ -1,0 +1,347 @@
+//! Conservative parallel execution of shard cells.
+//!
+//! A sharded run partitions a scenario into `N` **cells** — each cell
+//! is a complete [`Simulator`] owning a disjoint subset of the hosts
+//! (with their connections, arenas and per-link fluid state) and its
+//! own event queue and RNG. [`run_sharded`] advances the cells on up
+//! to `workers` OS threads.
+//!
+//! ## Determinism
+//!
+//! The cell partition is part of the scenario (fixed by the caller);
+//! the worker count is pure execution parallelism. Everything a cell
+//! computes is a function of its own queue, its own RNG, and the mail
+//! it receives — and the window schedule plus the mailbox drain order
+//! are both worker-count-invariant:
+//!
+//! * every round, all cells advance to the same bound `min + lookahead`
+//!   where `min` is the global minimum next-event time — a pure
+//!   function of cell queue states;
+//! * mailboxes are drained in `(arrival time, source cell, emission
+//!   seq)` order, so delivery order never depends on thread timing.
+//!
+//! Verdicts, goldens and [`SimStats`](crate::sim::SimStats) are
+//! therefore byte-identical at any worker count.
+//!
+//! ## Conservative window synchronization
+//!
+//! The lookahead must not exceed the minimum latency of any cross-cell
+//! link. A packet emitted during a window (at some `t ≥ min`) arrives
+//! at `t + latency ≥ min + lookahead = bound`, i.e. always inside a
+//! *future* window of the destination cell — so processing every event
+//! strictly below `bound` before exchanging mail can never violate
+//! causality. Termination is safe for the same reason mail is drained
+//! *before* next-event times are published: when the global minimum is
+//! "no event", no mail can be in flight either.
+//!
+//! ## Thread containment
+//!
+//! This module is the only place in the simulation crates allowed to
+//! spawn threads (gfw-lint rule T1 enforces the allowlist); the
+//! simulators themselves remain single-threaded and `!Send` — each
+//! worker *builds* its cells on its own thread and never shares them.
+
+use crate::sim::{Outbound, Simulator};
+use crate::time::Duration;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// How cells exchange cross-cell packets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coupling {
+    /// The cells share no hosts: each runs to completion independently
+    /// (no barriers, no mail). The executor panics if a cell emits a
+    /// cross-cell packet under this coupling.
+    Isolated,
+    /// The cells exchange packets through per-cell mailboxes at
+    /// conservative window boundaries.
+    Windowed {
+        /// Window lookahead. Must be positive and must not exceed the
+        /// minimum latency of any cross-cell link.
+        lookahead: Duration,
+    },
+}
+
+/// The per-cell result extractor, run on the worker thread after the
+/// cell's last window (it may capture `!Send` handles created by the
+/// build closure, e.g. `Rc` counters).
+pub type FinishFn<R> = Box<dyn FnOnce(Simulator) -> R>;
+
+/// The cell constructor: given the cell's index, build its simulator
+/// (hosts, apps, flows, remote-host registry) and return it with the
+/// finish closure.
+pub type BuildFn<R> = Box<dyn FnOnce(usize) -> (Simulator, FinishFn<R>) + Send>;
+
+/// One shard cell of a sharded run.
+pub struct ShardCell<R> {
+    build: BuildFn<R>,
+}
+
+impl<R> ShardCell<R> {
+    /// Wrap a cell constructor. The closure runs on the worker thread
+    /// that owns the cell; the `Simulator` it builds never crosses a
+    /// thread boundary.
+    pub fn new<F>(build: F) -> ShardCell<R>
+    where
+        F: FnOnce(usize) -> (Simulator, FinishFn<R>) + Send + 'static,
+    {
+        ShardCell {
+            build: Box::new(build),
+        }
+    }
+}
+
+/// Sentinel for "cell queue empty" in the published next-event times.
+const NO_EVENT: u64 = u64::MAX;
+
+/// Shared state of one windowed run.
+struct WindowSync {
+    /// Next-event time of each cell (`NO_EVENT` when its queue is
+    /// empty), republished before every window barrier.
+    next_times: Vec<AtomicU64>,
+    /// Incoming mail per destination cell: `(source cell, outbound)`.
+    mailboxes: Vec<Mutex<Vec<(usize, Outbound)>>>,
+    /// Two-phase barrier: publish → compute bound, advance → exchange.
+    barrier: Barrier,
+    /// A worker panicked; everyone unwinds at the next barrier.
+    abort: AtomicBool,
+}
+
+/// First panic payload observed across the workers.
+type PanicSlot = Mutex<Option<Box<dyn std::any::Any + Send>>>;
+
+/// Run `cells` to completion on up to `workers` threads and return
+/// each cell's finish value, in cell order.
+///
+/// Worker `w` owns cells `{i | i % workers == w}`. With `workers == 1`
+/// everything runs inline on the caller's thread — byte-identical to
+/// any other worker count, including the window schedule and
+/// `sync_windows` counts under [`Coupling::Windowed`].
+///
+/// # Panics
+///
+/// Panics if a windowed lookahead is zero, if a cell mails a packet
+/// under [`Coupling::Isolated`], or (propagated) if a cell panics.
+pub fn run_sharded<R: Send>(
+    cells: Vec<ShardCell<R>>,
+    workers: usize,
+    coupling: Coupling,
+) -> Vec<R> {
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if let Coupling::Windowed { lookahead } = coupling {
+        assert!(
+            lookahead > Duration::ZERO,
+            "windowed lookahead must be positive"
+        );
+    }
+    let workers = workers.clamp(1, n);
+
+    let sync = WindowSync {
+        next_times: (0..n).map(|_| AtomicU64::new(NO_EVENT)).collect(),
+        mailboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        barrier: Barrier::new(workers),
+        abort: AtomicBool::new(false),
+    };
+    let panicked: PanicSlot = Mutex::new(None);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Hand each worker its own cells (round-robin by index).
+    let mut per_worker: Vec<Vec<(usize, ShardCell<R>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (idx, cell) in cells.into_iter().enumerate() {
+        per_worker[idx % workers].push((idx, cell));
+    }
+
+    if workers == 1 {
+        let own = per_worker.pop().expect("one worker");
+        worker_body(own, n, coupling, &sync, &panicked, &results);
+    } else {
+        // gfwlint: allow(T1) — the shard executor is the one sanctioned
+        // thread spawn site outside experiments::runner.
+        std::thread::scope(|scope| {
+            for own in per_worker {
+                let sync = &sync;
+                let panicked = &panicked;
+                let results = &results;
+                scope.spawn(move || {
+                    worker_body(own, n, coupling, sync, panicked, results);
+                });
+            }
+        });
+    }
+
+    if let Some(payload) = panicked.lock().expect("panic slot").take() {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every cell finished")
+        })
+        .collect()
+}
+
+/// Everything one worker does: build its cells, advance them to
+/// completion under the chosen coupling, extract results.
+fn worker_body<R>(
+    own: Vec<(usize, ShardCell<R>)>,
+    n_cells: usize,
+    coupling: Coupling,
+    sync: &WindowSync,
+    panicked: &PanicSlot,
+    results: &[Mutex<Option<R>>],
+) {
+    match coupling {
+        Coupling::Isolated => {
+            // Build → run → finish → drop, one cell at a time, so a
+            // worker's resident set is one live cell, not its whole
+            // slice of the partition.
+            for (idx, cell) in own {
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let (mut sim, finish) = (cell.build)(idx);
+                    sim.mark_shards(n_cells as u64);
+                    sim.run();
+                    assert!(
+                        !sim.has_pending_outbound(),
+                        "cell {idx} mailed cross-cell packets under Coupling::Isolated"
+                    );
+                    *results[idx].lock().expect("result slot") = Some(finish(sim));
+                }));
+                if let Err(payload) = run {
+                    record_panic(sync, panicked, payload);
+                    return;
+                }
+            }
+        }
+        Coupling::Windowed { lookahead } => {
+            windowed_worker(own, n_cells, lookahead, sync, panicked, results);
+        }
+    }
+}
+
+/// Store the first panic payload and raise the abort flag so every
+/// worker (including those parked at a barrier) unwinds at its next
+/// abort check.
+fn record_panic(sync: &WindowSync, panicked: &PanicSlot, payload: Box<dyn std::any::Any + Send>) {
+    let mut slot = panicked.lock().expect("panic slot");
+    if slot.is_none() {
+        *slot = Some(payload);
+    }
+    sync.abort.store(true, Ordering::SeqCst);
+}
+
+/// The conservative window loop. Two barriers per round:
+///
+/// ```text
+/// drain own mail, publish own next-event times
+///   ── barrier A ──      (all times visible to all workers)
+/// bound := global min + lookahead; exit if no events anywhere
+/// advance own cells to bound, post outbound mail
+///   ── barrier B ──      (all mail posted)
+/// ```
+///
+/// Each phase is wrapped in `catch_unwind`; a panicking worker raises
+/// the abort flag but keeps meeting the barriers, so no worker blocks
+/// forever, and every worker returns at its next post-barrier abort
+/// check.
+fn windowed_worker<R>(
+    own: Vec<(usize, ShardCell<R>)>,
+    n_cells: usize,
+    lookahead: Duration,
+    sync: &WindowSync,
+    panicked: &PanicSlot,
+    results: &[Mutex<Option<R>>],
+) {
+    // Build phase. On failure, keep participating in barriers with an
+    // empty cell list until the abort check releases everyone.
+    let mut cells: Vec<(usize, Simulator, FinishFn<R>)> = Vec::with_capacity(own.len());
+    let build = catch_unwind(AssertUnwindSafe(|| {
+        own.into_iter()
+            .map(|(idx, cell)| {
+                let (mut sim, finish) = (cell.build)(idx);
+                sim.mark_shards(n_cells as u64);
+                (idx, sim, finish)
+            })
+            .collect::<Vec<_>>()
+    }));
+    match build {
+        Ok(built) => cells = built,
+        Err(payload) => record_panic(sync, panicked, payload),
+    }
+
+    loop {
+        // Phase 1: drain mail that arrived last round, then publish
+        // next-event times. Both touch only this worker's own cells,
+        // so barrier A's happens-before edge is all the ordering the
+        // published times need.
+        let drain = catch_unwind(AssertUnwindSafe(|| {
+            for (idx, sim, _) in &mut cells {
+                let mut mail = std::mem::take(&mut *sync.mailboxes[*idx].lock().expect("mailbox"));
+                mail.sort_by_key(|(src_cell, ob)| (ob.arrival, *src_cell, ob.seq));
+                for (_, ob) in mail {
+                    sim.inject_packet(ob.arrival, ob.pkt);
+                }
+                let t = sim.next_event_time().map_or(NO_EVENT, |t| t.as_nanos());
+                sync.next_times[*idx].store(t, Ordering::SeqCst);
+            }
+        }));
+        if let Err(payload) = drain {
+            record_panic(sync, panicked, payload);
+        }
+
+        sync.barrier.wait(); // barrier A
+        if sync.abort.load(Ordering::SeqCst) {
+            return;
+        }
+
+        // Every worker computes the same bound from the same published
+        // times; min == NO_EVENT means no cell has events and (because
+        // mail is drained before publishing) none is in flight.
+        let min = sync
+            .next_times
+            .iter()
+            .map(|t| t.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(NO_EVENT);
+        if min == NO_EVENT {
+            break;
+        }
+        let bound = crate::time::SimTime(min.saturating_add(lookahead.as_nanos()));
+
+        // Phase 2: advance to the bound, post outbound mail.
+        let advance = catch_unwind(AssertUnwindSafe(|| {
+            for (idx, sim, _) in &mut cells {
+                sim.run_window(bound);
+                for ob in sim.take_outbox() {
+                    sync.mailboxes[ob.dst_cell]
+                        .lock()
+                        .expect("mailbox")
+                        .push((*idx, ob));
+                }
+            }
+        }));
+        if let Err(payload) = advance {
+            record_panic(sync, panicked, payload);
+        }
+
+        sync.barrier.wait(); // barrier B
+        if sync.abort.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+
+    let finish_run = catch_unwind(AssertUnwindSafe(|| {
+        for (idx, sim, finish) in cells {
+            *results[idx].lock().expect("result slot") = Some(finish(sim));
+        }
+    }));
+    if let Err(payload) = finish_run {
+        record_panic(sync, panicked, payload);
+    }
+}

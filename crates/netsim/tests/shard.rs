@@ -1,0 +1,272 @@
+//! Shard executor behaviour: cross-cell connections complete through
+//! the window mailboxes, schedules are byte-identical at any worker
+//! count, and a panicking cell aborts the run without deadlocking the
+//! barrier protocol.
+
+use netsim::app::{App, AppEvent, Ctx};
+use netsim::conn::TcpTuning;
+use netsim::host::{HostConfig, Region};
+use netsim::packet::Ipv4;
+use netsim::shard::{run_sharded, Coupling, FinishFn, ShardCell};
+use netsim::time::{Duration, SimTime};
+use netsim::{SimConfig, Simulator};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const CLIENT_ADDR: Ipv4 = Ipv4::new(110, 9, 0, 1);
+const SERVER_ADDR: Ipv4 = Ipv4::new(172, 9, 0, 1);
+const PORT: u16 = 8388;
+
+/// Server that echoes each payload back and closes after the first.
+struct EchoOnce;
+impl App for EchoOnce {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        if let AppEvent::Data { conn, data } = ev {
+            ctx.send(conn, data);
+            ctx.fin(conn);
+        }
+    }
+}
+
+/// Client that sends one payload and logs its lifecycle.
+struct LoggingClient {
+    payload: Vec<u8>,
+    log: Rc<RefCell<Vec<String>>>,
+}
+impl App for LoggingClient {
+    fn on_event(&mut self, ev: AppEvent, ctx: &mut Ctx) {
+        match ev {
+            AppEvent::Connected { conn } => {
+                self.log.borrow_mut().push("connected".into());
+                ctx.send(conn, self.payload.clone());
+            }
+            AppEvent::ConnectFailed { refused, .. } => {
+                self.log
+                    .borrow_mut()
+                    .push(format!("connect_failed refused={refused}"));
+            }
+            AppEvent::Data { data, .. } => {
+                self.log.borrow_mut().push(format!("data {}", data.len()));
+            }
+            AppEvent::PeerFin { conn } => {
+                self.log.borrow_mut().push("peer_fin".into());
+                ctx.fin(conn);
+            }
+            AppEvent::PeerRst { .. } => {
+                self.log.borrow_mut().push("peer_rst".into());
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Two windowed cells: the client lives on cell 0, the echo server on
+/// cell 1. Returns each cell's observable outcome as one string.
+fn cross_cell_run(workers: usize, listen: bool) -> Vec<String> {
+    let cells = vec![
+        ShardCell::new(move |idx| {
+            let mut sim = Simulator::new(SimConfig::default(), 100 + idx as u64);
+            sim.set_conn_id_base((idx as u64) << 48);
+            sim.add_host_with_addr(CLIENT_ADDR, HostConfig::china("client"));
+            sim.add_remote_host(SERVER_ADDR, Region::Outside, 1);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let app = sim.add_app(Box::new(LoggingClient {
+                payload: vec![7u8; 3000],
+                log: log.clone(),
+            }));
+            sim.connect_at(
+                SimTime::ZERO,
+                app,
+                CLIENT_ADDR,
+                (SERVER_ADDR, PORT),
+                TcpTuning::default(),
+            );
+            let finish: FinishFn<String> = Box::new(move |sim: Simulator| {
+                format!(
+                    "client log={:?} live={} xshard={} windows={}",
+                    log.borrow(),
+                    sim.live_connections(),
+                    sim.stats.cross_shard_packets,
+                    sim.stats.sync_windows,
+                )
+            });
+            (sim, finish)
+        }),
+        ShardCell::new(move |idx| {
+            let mut sim = Simulator::new(SimConfig::default(), 100 + idx as u64);
+            sim.set_conn_id_base((idx as u64) << 48);
+            sim.add_host_with_addr(SERVER_ADDR, HostConfig::outside("server"));
+            sim.add_remote_host(CLIENT_ADDR, Region::China, 0);
+            if listen {
+                let echo = sim.add_app(Box::new(EchoOnce));
+                sim.listen((SERVER_ADDR, PORT), echo);
+            }
+            let finish: FinishFn<String> = Box::new(|sim: Simulator| {
+                format!(
+                    "server live={} xshard={} windows={} conns={}",
+                    sim.live_connections(),
+                    sim.stats.cross_shard_packets,
+                    sim.stats.sync_windows,
+                    sim.stats.connections,
+                )
+            });
+            (sim, finish)
+        }),
+    ];
+    run_sharded(
+        cells,
+        workers,
+        Coupling::Windowed {
+            lookahead: Duration::from_millis(2),
+        },
+    )
+}
+
+#[test]
+fn cross_cell_echo_completes() {
+    let out = cross_cell_run(2, true);
+    // The client's lifecycle crossed two cells: 3000 bytes echo back as
+    // mss-sized segments, then the server's FIN and the client's reply
+    // FIN tear both records down.
+    assert!(
+        out[0].contains("\"connected\""),
+        "client never connected: {out:?}"
+    );
+    assert!(
+        out[0].contains("\"peer_fin\""),
+        "client never saw the server FIN: {out:?}"
+    );
+    assert!(
+        out[0].contains("live=0"),
+        "client cell leaked conns: {out:?}"
+    );
+    assert!(
+        out[1].contains("live=0"),
+        "server cell leaked conns: {out:?}"
+    );
+    // Both directions used the mailboxes, and the windowed loop ran.
+    assert!(
+        !out[0].contains("xshard=0"),
+        "no client->server mail: {out:?}"
+    );
+    assert!(
+        !out[1].contains("xshard=0"),
+        "no server->client mail: {out:?}"
+    );
+    assert!(!out[0].contains("windows=0"), "no windows counted: {out:?}");
+    // The echoed byte total comes back intact (data events sum to 3000).
+    let echoed: usize = out[0]
+        .split("data ")
+        .skip(1)
+        .filter_map(|s| {
+            s.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse::<usize>()
+                .ok()
+        })
+        .sum();
+    assert_eq!(echoed, 3000, "echoed bytes: {out:?}");
+}
+
+#[test]
+fn worker_count_is_invisible() {
+    let one = cross_cell_run(1, true);
+    let two = cross_cell_run(2, true);
+    let four = cross_cell_run(4, true);
+    assert_eq!(one, two, "1 vs 2 workers diverged");
+    assert_eq!(one, four, "1 vs 4 workers diverged");
+}
+
+#[test]
+fn cross_cell_refused_port_tears_down_both_cells() {
+    // No listener on the server cell: the mirror's refusal RST must
+    // clean up the mirror record and fail the client with refused=true.
+    let out = cross_cell_run(2, false);
+    assert!(
+        out[0].contains("connect_failed refused=true"),
+        "client saw no refusal: {out:?}"
+    );
+    assert!(out[0].contains("live=0"), "client cell leaked: {out:?}");
+    assert!(out[1].contains("live=0"), "mirror record leaked: {out:?}");
+}
+
+#[test]
+fn isolated_cells_match_solo_runs() {
+    // Two disjoint single-host-pair cells, no cross-cell traffic: the
+    // sharded run must reproduce each solo simulator byte-for-byte.
+    fn build_local(seed: u64) -> (Simulator, Rc<RefCell<Vec<String>>>) {
+        let mut sim = Simulator::new(SimConfig::default(), seed);
+        let server = sim.add_host(HostConfig::outside("server"));
+        let client = sim.add_host(HostConfig::china("client"));
+        let echo = sim.add_app(Box::new(EchoOnce));
+        sim.listen((server, PORT), echo);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let app = sim.add_app(Box::new(LoggingClient {
+            payload: vec![1u8; 500],
+            log: log.clone(),
+        }));
+        sim.connect_at(
+            SimTime::ZERO,
+            app,
+            client,
+            (server, PORT),
+            TcpTuning::default(),
+        );
+        (sim, log)
+    }
+
+    let solo: Vec<String> = (0..2)
+        .map(|i| {
+            let (mut sim, log) = build_local(7 + i);
+            sim.run();
+            format!("{:?} events={}", log.borrow(), sim.stats.events)
+        })
+        .collect();
+
+    let cells: Vec<ShardCell<String>> = (0..2u64)
+        .map(|i| {
+            ShardCell::new(move |_idx| {
+                let (sim, log) = build_local(7 + i);
+                let finish: FinishFn<String> = Box::new(move |sim: Simulator| {
+                    format!("{:?} events={}", log.borrow(), sim.stats.events)
+                });
+                (sim, finish)
+            })
+        })
+        .collect();
+    let sharded = run_sharded(cells, 2, Coupling::Isolated);
+    assert_eq!(solo, sharded);
+}
+
+#[test]
+fn panicking_cell_aborts_without_deadlock() {
+    for workers in [1, 2] {
+        let cells: Vec<ShardCell<()>> = (0..2)
+            .map(|i| {
+                ShardCell::new(move |_idx| {
+                    if i == 1 {
+                        panic!("cell build exploded");
+                    }
+                    let sim = Simulator::new(SimConfig::default(), 1);
+                    let finish: FinishFn<()> = Box::new(|_| ());
+                    (sim, finish)
+                })
+            })
+            .collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            run_sharded(
+                cells,
+                workers,
+                Coupling::Windowed {
+                    lookahead: Duration::from_millis(1),
+                },
+            )
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("(non-str payload)");
+        assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+    }
+}
